@@ -1,0 +1,56 @@
+package cachedarrays
+
+import (
+	"cachedarrays/internal/core"
+	"cachedarrays/internal/policy"
+)
+
+// This file re-exports the user-facing runtime API at the module root so
+// applications depend on a single import path. The full surface (data
+// manager, platform model, workloads, engines) lives under internal/ and
+// is reachable through the runtime's accessors and the cmd/ tools.
+
+// Runtime is one CachedArrays instance; see internal/core.Runtime.
+type Runtime = core.Runtime
+
+// Array is a runtime-managed byte array with the paper's hint API.
+type Array = core.Array
+
+// Float32Array is a typed float32 view over an Array.
+type Float32Array = core.Float32Array
+
+// Config configures NewRuntime.
+type Config = core.Config
+
+// Telemetry is the runtime's observable state snapshot.
+type Telemetry = core.Telemetry
+
+// Mode selects the operating mode (optimization set).
+type Mode = policy.Mode
+
+// The paper's operating modes (§IV).
+const (
+	// ModeCacheLike (CA:0) mimics a hardware cache: objects are born in
+	// slow memory and copied up before use.
+	ModeCacheLike = policy.CAZero
+	// ModeLocal (CA:L) allocates directly in fast memory.
+	ModeLocal = policy.CAL
+	// ModeLocalRetire (CA:LM) adds eager retire — the paper's best
+	// all-round configuration and the default recommendation.
+	ModeLocalRetire = policy.CALM
+	// ModeLocalRetirePrefetch (CA:LMP) additionally prefetches on
+	// will_read.
+	ModeLocalRetirePrefetch = policy.CALMP
+)
+
+// ErrRetired is returned by operations on retired arrays.
+var ErrRetired = core.ErrRetired
+
+// NewRuntime constructs a runtime; see internal/core for the semantics.
+func NewRuntime(cfg Config) *Runtime { return core.NewRuntime(cfg) }
+
+// F32 reads float32 element i from a kernel buffer.
+func F32(buf []byte, i int) float32 { return core.F32(buf, i) }
+
+// SetF32 writes float32 element i of a kernel buffer.
+func SetF32(buf []byte, i int, v float32) { core.SetF32(buf, i, v) }

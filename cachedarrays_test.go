@@ -1,0 +1,65 @@
+package cachedarrays
+
+import "testing"
+
+// TestFacadeEndToEnd exercises the root-package API the way a downstream
+// application would.
+func TestFacadeEndToEnd(t *testing.T) {
+	rt := NewRuntime(Config{
+		FastBytes: 1 << 20,
+		SlowBytes: 1 << 24,
+		Mode:      ModeLocalRetire,
+	})
+	if rt.Mode() != "CA:LM" {
+		t.Fatalf("mode = %s", rt.Mode())
+	}
+	a, err := rt.NewArray(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Kernel(nil, []*Array{a}, func(_, w [][]byte) {
+		SetF32(w[0], 0, 42.5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	var got float32
+	if err := rt.Kernel([]*Array{a}, nil, func(r, _ [][]byte) {
+		got = F32(r[0], 0)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42.5 {
+		t.Fatalf("value %v after round trip", got)
+	}
+	f, err := rt.NewFloat32Array(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *Float32Array = f
+	a.Retire()
+	f.Retire()
+	if err := a.WillRead(); err != ErrRetired {
+		t.Fatalf("retired hint error = %v", err)
+	}
+	var tel Telemetry = rt.Telemetry()
+	if tel.LiveArrays != 0 {
+		t.Fatalf("leaked arrays: %d", tel.LiveArrays)
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModeConstantsDistinct guards the re-exported constants.
+func TestModeConstantsDistinct(t *testing.T) {
+	seen := map[Mode]bool{}
+	for _, m := range []Mode{ModeCacheLike, ModeLocal, ModeLocalRetire, ModeLocalRetirePrefetch} {
+		if seen[m] {
+			t.Fatalf("duplicate mode %v", m)
+		}
+		seen[m] = true
+	}
+}

@@ -1,0 +1,40 @@
+// Command cacheck verifies the reproduction: it runs the full evaluation
+// and scores every qualitative claim the paper makes against this build's
+// measurements, printing a PASS/FAIL table. It exits non-zero if any
+// claim fails, so CI can gate on it.
+//
+// Examples:
+//
+//	cacheck               # paper scale, 4 iterations (~30 s)
+//	cacheck -iters 2      # quicker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cachedarrays/internal/experiments"
+)
+
+func main() {
+	var (
+		iters    = flag.Int("iters", 4, "training iterations per run")
+		parallel = flag.Int("parallel", 8, "concurrent simulation runs")
+	)
+	flag.Parse()
+
+	claims, err := experiments.CheckClaims(experiments.Options{
+		Iterations: *iters, Parallel: *parallel,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cacheck:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.ClaimsTable(claims).Text())
+	for _, c := range claims {
+		if !c.Pass {
+			os.Exit(1)
+		}
+	}
+}

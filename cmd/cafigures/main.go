@@ -1,0 +1,133 @@
+// Command cafigures regenerates every table and figure of the paper's
+// evaluation section and prints them as text tables (default) or writes
+// them as CSV files into a directory.
+//
+// Examples:
+//
+//	cafigures                      # everything, text, paper scale
+//	cafigures -only fig2,fig5      # just the Fig. 2 and Fig. 5 data
+//	cafigures -scale 8 -iters 2    # 1/8-batch quick look
+//	cafigures -outdir results/     # write CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cachedarrays/internal/experiments"
+	"cachedarrays/internal/models"
+)
+
+func main() {
+	var (
+		only     = flag.String("only", "", "comma list of: table3,fig2,fig3,fig4,fig5,fig6,fig7,fig7async,baselines,beyond,ablations,cxl,copybw,dlrm (default all)")
+		iters    = flag.Int("iters", 4, "training iterations per run")
+		scale    = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
+		parallel = flag.Int("parallel", 4, "concurrent simulation runs")
+		outdir   = flag.String("outdir", "", "write CSV files here instead of printing text")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only == "" {
+		for _, k := range []string{"table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig7async", "baselines", "beyond", "ablations", "cxl", "copybw", "dlrm"} {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	opts := experiments.Options{Iterations: *iters, Scale: *scale, Parallel: *parallel}
+
+	emit := func(name string, tab *experiments.Table) {
+		if *outdir == "" {
+			fmt.Println(tab.Text())
+			return
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outdir, name+".csv")
+		if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	if want["table3"] {
+		emit("table3", experiments.TableIII())
+	}
+
+	needMatrix := want["fig2"] || want["fig4"] || want["fig5"] || want["fig6"]
+	if needMatrix {
+		mat, err := experiments.RunMatrix(opts)
+		fatal(err)
+		if want["fig2"] {
+			emit("fig2", experiments.Fig2(mat))
+		}
+		if want["fig4"] {
+			emit("fig4", experiments.Fig4(mat))
+		}
+		if want["fig5"] {
+			emit("fig5", experiments.Fig5(mat))
+		}
+		if want["fig6"] {
+			emit("fig6", experiments.Fig6(mat))
+		}
+	}
+	if want["fig3"] {
+		tab, err := experiments.Fig3(opts, 64)
+		fatal(err)
+		emit("fig3", tab)
+	}
+	if want["fig7"] {
+		tab, err := experiments.Fig7(opts, nil)
+		fatal(err)
+		emit("fig7", tab)
+	}
+	if want["fig7async"] {
+		tab, err := experiments.Fig7Async(opts, nil)
+		fatal(err)
+		emit("fig7async", tab)
+	}
+	if want["baselines"] {
+		tab, err := experiments.Baselines(opts)
+		fatal(err)
+		emit("baselines", tab)
+	}
+	if want["beyond"] {
+		tab, err := experiments.BeyondCNNs(opts)
+		fatal(err)
+		emit("beyond", tab)
+	}
+	if want["ablations"] {
+		tab, err := experiments.Ablations(opts)
+		fatal(err)
+		emit("ablations", tab)
+	}
+	if want["cxl"] {
+		tab, err := experiments.CXLPortability(opts)
+		fatal(err)
+		emit("cxl", tab)
+	}
+	if want["copybw"] {
+		emit("copybw", experiments.CopyBandwidth())
+		emit("copysizes", experiments.CopyTransferSizes())
+	}
+	if want["dlrm"] {
+		r, err := experiments.RunDLRM(models.DefaultDLRMConfig())
+		fatal(err)
+		emit("dlrm", r.Table())
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cafigures:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,184 @@
+// Command carun executes one training experiment — a paper model under a
+// CachedArrays operating mode or a 2LM baseline — and prints the paper's
+// measurement set: iteration time, movement stalls, per-device traffic,
+// cache statistics and policy counters.
+//
+// Examples:
+//
+//	carun -model resnet200 -batch 2048 -mode CA:LM
+//	carun -model densenet264 -batch 1536 -mode 2LM:0 -iters 4
+//	carun -model vgg116 -batch 320 -mode CA:LM -dram 30GB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/pagemig"
+	"cachedarrays/internal/policy"
+	"cachedarrays/internal/units"
+)
+
+func buildModel(name string, batch int) (*models.Model, error) {
+	switch strings.ToLower(name) {
+	case "densenet264":
+		return models.DenseNet(264, batch), nil
+	case "densenet121":
+		return models.DenseNet(121, batch), nil
+	case "resnet200":
+		return models.ResNet(200, batch), nil
+	case "resnet50":
+		return models.ResNet(50, batch), nil
+	case "vgg416":
+		return models.VGG(416, batch), nil
+	case "vgg116":
+		return models.VGG(116, batch), nil
+	case "vgg16":
+		return models.VGG(16, batch), nil
+	case "mlp":
+		return models.MLP(4096, []int{4096, 4096}, 1000, batch), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (densenet264, densenet121, resnet200, resnet50, vgg416, vgg116, vgg16, mlp)", name)
+	}
+}
+
+func run(model *models.Model, mode string, cfg engine.Config) (*engine.Result, error) {
+	switch strings.ToUpper(mode) {
+	case "2LM:0", "2LM:O":
+		return engine.Run2LM(model, false, cfg)
+	case "2LM:M":
+		return engine.Run2LM(model, true, cfg)
+	case "CA:0", "CA:O":
+		return engine.RunCA(model, policy.CAZero, cfg)
+	case "CA:L":
+		return engine.RunCA(model, policy.CAL, cfg)
+	case "CA:LM":
+		return engine.RunCA(model, policy.CALM, cfg)
+	case "CA:LMP":
+		return engine.RunCA(model, policy.CALMP, cfg)
+	case "OS:PAGE", "OS":
+		return engine.RunPageMig(model, pagemig.DefaultConfig(), cfg)
+	case "AUTOTM", "PLAN":
+		return engine.RunPlanned(model, nil, cfg)
+	default:
+		return nil, fmt.Errorf("unknown mode %q (2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, OS:page, AutoTM)", mode)
+	}
+}
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet200", "workload: densenet264, resnet200, vgg416, vgg116, ...")
+		batch     = flag.Int("batch", 2048, "training batch size")
+		mode      = flag.String("mode", "CA:LM", "operating mode: 2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, OS:page, AutoTM")
+		iters     = flag.Int("iters", 4, "training iterations (first is warm-up)")
+		dram      = flag.String("dram", "", "DRAM budget, e.g. 180GB; \"0\" for NVRAM-only (default: paper 180 GB)")
+		nvram     = flag.String("nvram", "", "NVRAM budget (default: paper 1300 GB)")
+		verbose   = flag.Bool("v", false, "print per-iteration metrics")
+		async     = flag.Bool("async", false, "use the asynchronous data mover (CA modes; §V-c future work, implemented)")
+		lookahead = flag.Int("lookahead", 0, "emit will_read hints this many kernels ahead")
+		allocator = flag.String("alloc", "", "heap allocator: firstfit (default), bestfit, buddy")
+		workload  = flag.String("workload", "", "load the workload from a JSON trace file instead of -model")
+		dump      = flag.String("dumpworkload", "", "write the built workload as JSON to this file and exit")
+		events    = flag.Int("events", 0, "print the last N data-manager events (CA modes)")
+	)
+	flag.Parse()
+
+	var model *models.Model
+	if *workload != "" {
+		f, err := os.Open(*workload)
+		fatal(err)
+		model, err = models.LoadJSON(f)
+		f.Close()
+		fatal(err)
+	} else {
+		var err error
+		model, err = buildModel(*modelName, *batch)
+		fatal(err)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		fatal(err)
+		fatal(model.SaveJSON(f))
+		fatal(f.Close())
+		fmt.Printf("wrote %s (%d tensors, %d kernels)\n", *dump, len(model.Tensors), len(model.Kernels))
+		return
+	}
+	cfg := engine.Config{
+		Iterations:    *iters,
+		AsyncMovement: *async,
+		HintLookahead: *lookahead,
+		Allocator:     *allocator,
+		TraceEvents:   *events,
+	}
+	if *dram != "" {
+		n, err := units.ParseBytes(*dram)
+		fatal(err)
+		if n == 0 {
+			n = engine.NVRAMOnly
+		}
+		cfg.FastCapacity = n
+	}
+	if *nvram != "" {
+		n, err := units.ParseBytes(*nvram)
+		fatal(err)
+		cfg.SlowCapacity = n
+	}
+
+	fmt.Printf("model       : %s (batch %d)\n", model.Name, model.BatchSize)
+	fmt.Printf("footprint   : %s peak live (weights %s)\n",
+		units.Bytes(model.PeakFootprint()), units.Bytes(model.WeightBytes()))
+	fmt.Printf("kernels     : %d (%d tensors), %.1f TFLOP/iteration\n",
+		len(model.Kernels), len(model.Tensors), model.TotalFLOPs()/1e12)
+
+	r, err := run(model, *mode, cfg)
+	fatal(err)
+
+	fmt.Printf("mode        : %s\n", r.Mode)
+	fmt.Printf("iteration   : %s (compute+kernels %s, movement stalls %s, gc %s)\n",
+		units.Seconds(r.IterTime), units.Seconds(r.ComputeTime),
+		units.Seconds(r.MoveTime), units.Seconds(r.GCTime))
+	fmt.Printf("async proj. : %s (paper Fig. 7 red line)\n", units.Seconds(r.ProjectedAsyncTime))
+	fmt.Printf("DRAM        : read %s, write %s, utilization %.1f%%\n",
+		units.Bytes(r.Fast.ReadBytes), units.Bytes(r.Fast.WriteBytes), 100*r.FastBusUtil)
+	fmt.Printf("NVRAM       : read %s, write %s, utilization %.1f%%\n",
+		units.Bytes(r.Slow.ReadBytes), units.Bytes(r.Slow.WriteBytes), 100*r.SlowBusUtil)
+	fmt.Printf("peak heap   : %s\n", units.Bytes(r.PeakHeap))
+	if r.Cache.Accesses() > 0 {
+		fmt.Printf("DRAM cache  : hit %.1f%%, clean miss %.1f%%, dirty miss %.1f%%\n",
+			100*r.Cache.HitRate(), 100*r.Cache.CleanMissRate(), 100*r.Cache.DirtyMissRate())
+	}
+	if strings.HasPrefix(strings.ToUpper(*mode), "CA") {
+		p := r.Policy
+		fmt.Printf("policy      : %d prefetches (%s), %d evictions (%s), %d elided writebacks\n",
+			p.Prefetches, units.Bytes(p.PrefetchBytes), p.Evictions,
+			units.Bytes(p.EvictionBytes), p.ElidedWritebacks)
+		fmt.Printf("retire      : %d eager, %d deferred; gc: %d collections\n",
+			p.EagerRetires, p.DeferredRetires, r.GC.Collections)
+	}
+	if *events > 0 && len(r.Events) > 0 {
+		fmt.Printf("\nlast %d data-manager events:\n", len(r.Events))
+		for _, e := range r.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	if *verbose {
+		fmt.Println("\nper-iteration:")
+		for i, it := range r.Iterations {
+			fmt.Printf("  iter %d: %s (move %s, gc %s)  dram %s/%s  nvram %s/%s\n",
+				i, units.Seconds(it.Time), units.Seconds(it.MoveTime), units.Seconds(it.GCTime),
+				units.Bytes(it.Fast.ReadBytes), units.Bytes(it.Fast.WriteBytes),
+				units.Bytes(it.Slow.ReadBytes), units.Bytes(it.Slow.WriteBytes))
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carun:", err)
+		os.Exit(1)
+	}
+}

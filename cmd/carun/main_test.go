@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/units"
+)
+
+func TestBuildModelNames(t *testing.T) {
+	for _, name := range []string{"densenet264", "densenet121", "resnet200",
+		"resnet50", "vgg416", "vgg116", "vgg16", "mlp", "RESNET50"} {
+		m, err := buildModel(name, 4)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := buildModel("alexnet", 4); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunModeDispatch(t *testing.T) {
+	m, err := buildModel("mlp", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.Config{Iterations: 1,
+		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
+	for _, mode := range []string{"2LM:0", "2lm:m", "CA:0", "ca:l", "CA:LM",
+		"CA:LMP", "os:page", "AutoTM", "plan"} {
+		r, err := run(m, mode, cfg)
+		if err != nil {
+			t.Errorf("%s: %v", mode, err)
+			continue
+		}
+		if r.IterTime <= 0 {
+			t.Errorf("%s: zero iteration time", mode)
+		}
+	}
+	if _, err := run(m, "NUMA", cfg); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

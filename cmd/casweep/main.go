@@ -1,0 +1,57 @@
+// Command casweep runs the Figure 7 DRAM-budget sensitivity sweep: the
+// small Table III networks under CA:LM as the DRAM allowance shrinks from
+// the full socket budget down to NVRAM-only, reporting wall-clock and
+// async-projected iteration times.
+//
+// Examples:
+//
+//	casweep
+//	casweep -budgets 180GB,90GB,30GB,0 -iters 4
+//	casweep -csv > fig7.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/experiments"
+	"cachedarrays/internal/units"
+)
+
+func main() {
+	var (
+		iters   = flag.Int("iters", 4, "training iterations per point")
+		budgets = flag.String("budgets", "", "comma-separated DRAM budgets (e.g. 180GB,90GB,0); default: paper sweep")
+		scale   = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
+	)
+	flag.Parse()
+
+	var list []int64
+	if *budgets != "" {
+		for _, part := range strings.Split(*budgets, ",") {
+			n, err := units.ParseBytes(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "casweep:", err)
+				os.Exit(1)
+			}
+			if n == 0 {
+				n = engine.NVRAMOnly
+			}
+			list = append(list, n)
+		}
+	}
+	tab, err := experiments.Fig7(experiments.Options{Iterations: *iters, Scale: *scale}, list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casweep:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Print(tab.Text())
+	}
+}

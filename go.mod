@@ -1,0 +1,3 @@
+module cachedarrays
+
+go 1.22

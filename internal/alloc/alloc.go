@@ -1,0 +1,78 @@
+// Package alloc provides memory allocators over pre-allocated device heaps.
+//
+// The CachedArrays prototype "requires its underlying memory heaps to be
+// preallocated from the operating system prior to execution" (§III-C): each
+// device owns one big address space and the runtime carves objects out of
+// it. This package implements that carving. Allocators deal purely in
+// offsets within [0, Capacity) — the binding to real or simulated bytes
+// happens one layer up, in the data manager.
+//
+// Two allocators are provided: an address-ordered first-fit/best-fit
+// free-list allocator with eager coalescing and compaction (the default, a
+// good match for the large variable-size tensors of CNN workloads), and a
+// binary buddy allocator (lower fragmentation bookkeeping cost, internal
+// fragmentation instead). Both support the address-ordered block iteration
+// the data manager's evictfrom needs to free a *contiguous* range (paper
+// Listing 2).
+package alloc
+
+import "errors"
+
+// ErrExhausted is returned by Alloc when no suitable free block exists.
+// Callers (the policy) react by evicting and retrying, so exhaustion is an
+// expected condition, not a failure.
+var ErrExhausted = errors.New("alloc: out of memory")
+
+// Allocator is the interface shared by the heap allocators. Offsets are
+// byte offsets into the device heap. Implementations are not safe for
+// concurrent use; the data manager serializes access.
+type Allocator interface {
+	// Alloc reserves size bytes and returns the block's offset.
+	// It returns ErrExhausted when no block fits.
+	Alloc(size int64) (int64, error)
+	// Free releases a block previously returned by Alloc. Freeing an
+	// unknown offset panics: a double free in the data manager is a
+	// state-machine bug that must not be papered over.
+	Free(offset int64)
+	// SizeOf returns the usable size of the allocated block at offset.
+	SizeOf(offset int64) int64
+	// Capacity is the total heap size.
+	Capacity() int64
+	// Used is the total bytes in allocated blocks (including any
+	// rounding the allocator applied).
+	Used() int64
+	// FreeBytes is Capacity - Used.
+	FreeBytes() int64
+	// LargestFree is the size of the largest contiguous free block —
+	// the largest allocation that can currently succeed.
+	LargestFree() int64
+	// Blocks calls fn for every allocated block in address order,
+	// stopping early if fn returns false.
+	Blocks(fn func(offset, size int64) bool)
+	// BlocksIn calls fn for every allocated block overlapping
+	// [start, start+length), in address order, stopping early if fn
+	// returns false. This is the walk evictfrom performs.
+	BlocksIn(start, length int64, fn func(offset, size int64) bool)
+	// CheckInvariants validates internal consistency; it returns an
+	// error describing the first violation found, or nil.
+	CheckInvariants() error
+	// Reset returns the allocator to its initial empty state.
+	Reset()
+}
+
+// Compactor is implemented by allocators that support defragmentation. The
+// paper defragments the local heap between training iterations (§IV-A).
+type Compactor interface {
+	// Compact slides allocated blocks toward offset zero in address
+	// order. For each moved block it calls move(oldOffset, newOffset,
+	// size) so the owner can relocate the data and fix its metadata.
+	// After Compact all free space is one contiguous block at the top.
+	Compact(move func(oldOffset, newOffset, size int64))
+}
+
+const defaultAlign = 64
+
+// alignUp rounds n up to the next multiple of align (a power of two).
+func alignUp(n, align int64) int64 {
+	return (n + align - 1) &^ (align - 1)
+}

@@ -1,0 +1,201 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newBuddy(t *testing.T, capacity, minBlock int64) *Buddy {
+	t.Helper()
+	b, err := NewBuddy(capacity, minBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuddyConstructionErrors(t *testing.T) {
+	cases := []struct{ capacity, minBlock int64 }{
+		{1000, 64},  // capacity not power of two
+		{1024, 100}, // min block not power of two
+		{64, 128},   // capacity below min block
+		{0, 64},     // zero capacity
+		{-1024, 64}, // negative capacity
+		{1024, -64}, // negative min block
+	}
+	for _, c := range cases {
+		if _, err := NewBuddy(c.capacity, c.minBlock); err == nil {
+			t.Errorf("NewBuddy(%d, %d) succeeded, want error", c.capacity, c.minBlock)
+		}
+	}
+}
+
+func TestBuddyDefaultMinBlock(t *testing.T) {
+	b := newBuddy(t, 1<<20, 0)
+	off := mustAlloc(t, b, 1)
+	if b.SizeOf(off) != DefaultMinBlock {
+		t.Errorf("min allocation = %d, want %d", b.SizeOf(off), DefaultMinBlock)
+	}
+}
+
+func TestBuddyAllocRoundsToPowerOfTwo(t *testing.T) {
+	b := newBuddy(t, 1<<20, 64)
+	off := mustAlloc(t, b, 100)
+	if b.SizeOf(off) != 128 {
+		t.Errorf("100-byte alloc got %d, want 128", b.SizeOf(off))
+	}
+	off2 := mustAlloc(t, b, 128)
+	if b.SizeOf(off2) != 128 {
+		t.Errorf("exact-size alloc got %d", b.SizeOf(off2))
+	}
+	checkInv(t, b)
+}
+
+func TestBuddySplitAndMerge(t *testing.T) {
+	b := newBuddy(t, 1024, 64)
+	a1 := mustAlloc(t, b, 64)
+	a2 := mustAlloc(t, b, 64)
+	checkInv(t, b)
+	if b.LargestFree() != 512 {
+		t.Errorf("largest free after two 64B allocs = %d, want 512", b.LargestFree())
+	}
+	b.Free(a1)
+	checkInv(t, b)
+	// a2 still blocks full merge.
+	if b.LargestFree() != 512 {
+		t.Errorf("largest free = %d, want 512", b.LargestFree())
+	}
+	b.Free(a2)
+	checkInv(t, b)
+	if b.LargestFree() != 1024 {
+		t.Errorf("buddies did not merge back: largest = %d", b.LargestFree())
+	}
+	if b.Used() != 0 {
+		t.Errorf("Used = %d", b.Used())
+	}
+}
+
+func TestBuddyExhaustion(t *testing.T) {
+	b := newBuddy(t, 1024, 64)
+	mustAlloc(t, b, 1024)
+	if _, err := b.Alloc(64); err != ErrExhausted {
+		t.Errorf("got %v, want ErrExhausted", err)
+	}
+	if _, err := b.Alloc(2048); err != ErrExhausted {
+		t.Errorf("oversized alloc: got %v, want ErrExhausted", err)
+	}
+}
+
+func TestBuddyRejectsBadSizes(t *testing.T) {
+	b := newBuddy(t, 1024, 64)
+	for _, sz := range []int64{0, -5} {
+		if _, err := b.Alloc(sz); err == nil || err == ErrExhausted {
+			t.Errorf("Alloc(%d) = %v", sz, err)
+		}
+	}
+}
+
+func TestBuddyDoubleFreePanics(t *testing.T) {
+	b := newBuddy(t, 1024, 64)
+	off := mustAlloc(t, b, 64)
+	b.Free(off)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	b.Free(off)
+}
+
+func TestBuddyBlocksOrdered(t *testing.T) {
+	b := newBuddy(t, 1<<16, 64)
+	for i := 0; i < 8; i++ {
+		mustAlloc(t, b, 64)
+	}
+	var prev int64 = -1
+	n := 0
+	b.Blocks(func(off, size int64) bool {
+		if off <= prev {
+			t.Errorf("blocks out of order: %d after %d", off, prev)
+		}
+		prev = off
+		n++
+		return true
+	})
+	if n != 8 {
+		t.Errorf("visited %d blocks, want 8", n)
+	}
+}
+
+func TestBuddyBlocksIn(t *testing.T) {
+	b := newBuddy(t, 1<<16, 64)
+	var offs []int64
+	for i := 0; i < 8; i++ {
+		offs = append(offs, mustAlloc(t, b, 64))
+	}
+	var got []int64
+	b.BlocksIn(offs[2], 3*64, func(off, size int64) bool {
+		got = append(got, off)
+		return true
+	})
+	if len(got) != 3 || got[0] != offs[2] {
+		t.Errorf("BlocksIn = %v", got)
+	}
+}
+
+func TestBuddyRandomOps(t *testing.T) {
+	opSequence(t, newBuddy(t, 1<<22, 64), 3, 2000, 1<<14)
+}
+
+func TestBuddyQuickInvariants(t *testing.T) {
+	f := func(sizes []uint16, frees []uint8) bool {
+		b, err := NewBuddy(1<<20, 64)
+		if err != nil {
+			return false
+		}
+		var offs []int64
+		for _, s := range sizes {
+			if off, err := b.Alloc(int64(s) + 1); err == nil {
+				offs = append(offs, off)
+			}
+		}
+		for _, idx := range frees {
+			if len(offs) == 0 {
+				break
+			}
+			i := int(idx) % len(offs)
+			b.Free(offs[i])
+			offs = append(offs[:i], offs[i+1:]...)
+		}
+		return b.CheckInvariants() == nil && b.Used()+b.FreeBytes() == b.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuddyFullDrainRestoresOneBlock(t *testing.T) {
+	b := newBuddy(t, 1<<18, 64)
+	var offs []int64
+	for {
+		off, err := b.Alloc(64)
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+	}
+	if int64(len(offs))*64 != b.Capacity() {
+		t.Fatalf("allocated %d blocks, want %d", len(offs), b.Capacity()/64)
+	}
+	// Free in an order that exercises merging from both directions.
+	for i := 0; i < len(offs); i += 2 {
+		b.Free(offs[i])
+	}
+	for i := 1; i < len(offs); i += 2 {
+		b.Free(offs[i])
+	}
+	checkInv(t, b)
+	if b.LargestFree() != b.Capacity() {
+		t.Errorf("did not merge to a single block: %d", b.LargestFree())
+	}
+}

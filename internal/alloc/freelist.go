@@ -1,0 +1,316 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fit selects the free-block search strategy of a FreeList.
+type Fit int
+
+const (
+	// FirstFit takes the lowest-addressed free block that fits. Cheap
+	// and keeps allocations dense at low addresses.
+	FirstFit Fit = iota
+	// BestFit takes the smallest free block that fits, reducing external
+	// fragmentation for mixed-size workloads.
+	BestFit
+)
+
+func (f Fit) String() string {
+	switch f {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	default:
+		return fmt.Sprintf("Fit(%d)", int(f))
+	}
+}
+
+// block is one node in the address-ordered block list. The list always
+// covers [0, capacity) exactly, alternating allocated and (coalesced) free
+// blocks — two free blocks are never adjacent.
+type block struct {
+	off, size  int64
+	free       bool
+	prev, next *block
+}
+
+// FreeList is an address-ordered free-list allocator with eager coalescing,
+// configurable fit strategy, and compaction. It is the default heap
+// allocator of the CachedArrays data manager.
+type FreeList struct {
+	capacity int64
+	align    int64
+	fit      Fit
+	head     *block
+	byOff    map[int64]*block // allocated blocks, keyed by offset
+	used     int64
+}
+
+var (
+	_ Allocator = (*FreeList)(nil)
+	_ Compactor = (*FreeList)(nil)
+)
+
+// NewFreeList creates a free-list allocator over a heap of the given
+// capacity with 64-byte block alignment.
+func NewFreeList(capacity int64, fit Fit) *FreeList {
+	if capacity < 0 {
+		panic(fmt.Sprintf("alloc: negative capacity %d", capacity))
+	}
+	f := &FreeList{capacity: capacity, align: defaultAlign, fit: fit}
+	f.Reset()
+	return f
+}
+
+// Reset empties the allocator.
+func (f *FreeList) Reset() {
+	f.byOff = make(map[int64]*block)
+	f.used = 0
+	if f.capacity == 0 {
+		f.head = nil
+		return
+	}
+	f.head = &block{off: 0, size: f.capacity, free: true}
+}
+
+// Capacity returns the heap size.
+func (f *FreeList) Capacity() int64 { return f.capacity }
+
+// Used returns bytes held by allocated blocks (after alignment rounding).
+func (f *FreeList) Used() int64 { return f.used }
+
+// FreeBytes returns the unallocated byte count.
+func (f *FreeList) FreeBytes() int64 { return f.capacity - f.used }
+
+// LargestFree returns the largest contiguous free block size.
+func (f *FreeList) LargestFree() int64 {
+	var max int64
+	for b := f.head; b != nil; b = b.next {
+		if b.free && b.size > max {
+			max = b.size
+		}
+	}
+	return max
+}
+
+// Alloc reserves size bytes (rounded up to the alignment) and returns the
+// block offset, or ErrExhausted.
+func (f *FreeList) Alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("alloc: invalid allocation size %d", size)
+	}
+	need := alignUp(size, f.align)
+	var chosen *block
+	for b := f.head; b != nil; b = b.next {
+		if !b.free || b.size < need {
+			continue
+		}
+		if f.fit == FirstFit {
+			chosen = b
+			break
+		}
+		if chosen == nil || b.size < chosen.size {
+			chosen = b
+		}
+	}
+	if chosen == nil {
+		return 0, ErrExhausted
+	}
+	if chosen.size > need {
+		// Split: the tail stays free.
+		tail := &block{off: chosen.off + need, size: chosen.size - need, free: true,
+			prev: chosen, next: chosen.next}
+		if chosen.next != nil {
+			chosen.next.prev = tail
+		}
+		chosen.next = tail
+		chosen.size = need
+	}
+	chosen.free = false
+	f.byOff[chosen.off] = chosen
+	f.used += chosen.size
+	return chosen.off, nil
+}
+
+// Free releases the block at offset, coalescing with free neighbours.
+func (f *FreeList) Free(offset int64) {
+	b, ok := f.byOff[offset]
+	if !ok {
+		panic(fmt.Sprintf("alloc: free of unknown offset %d", offset))
+	}
+	delete(f.byOff, offset)
+	f.used -= b.size
+	b.free = true
+	// Coalesce with next, then prev.
+	if n := b.next; n != nil && n.free {
+		b.size += n.size
+		b.next = n.next
+		if n.next != nil {
+			n.next.prev = b
+		}
+	}
+	if p := b.prev; p != nil && p.free {
+		p.size += b.size
+		p.next = b.next
+		if b.next != nil {
+			b.next.prev = p
+		}
+	}
+}
+
+// SizeOf returns the (aligned) size of the allocated block at offset.
+func (f *FreeList) SizeOf(offset int64) int64 {
+	b, ok := f.byOff[offset]
+	if !ok {
+		panic(fmt.Sprintf("alloc: SizeOf of unknown offset %d", offset))
+	}
+	return b.size
+}
+
+// Blocks iterates allocated blocks in address order.
+func (f *FreeList) Blocks(fn func(offset, size int64) bool) {
+	for b := f.head; b != nil; b = b.next {
+		if b.free {
+			continue
+		}
+		if !fn(b.off, b.size) {
+			return
+		}
+	}
+}
+
+// BlocksIn iterates allocated blocks overlapping [start, start+length).
+func (f *FreeList) BlocksIn(start, length int64, fn func(offset, size int64) bool) {
+	end := start + length
+	for b := f.head; b != nil; b = b.next {
+		if b.off >= end {
+			return
+		}
+		if b.free || b.off+b.size <= start {
+			continue
+		}
+		if !fn(b.off, b.size) {
+			return
+		}
+	}
+}
+
+// Compact slides all allocated blocks to the bottom of the heap in address
+// order. The move callback must relocate the owner's data before the next
+// call (block moves never overlap destructively because compaction only
+// moves blocks downward).
+func (f *FreeList) Compact(move func(oldOffset, newOffset, size int64)) {
+	var cursor int64
+	var blocks []*block
+	for b := f.head; b != nil; b = b.next {
+		if !b.free {
+			blocks = append(blocks, b)
+		}
+	}
+	// Rebuild the list from scratch: allocated blocks packed at the
+	// bottom, one free block on top.
+	var head, tail *block
+	appendBlock := func(nb *block) {
+		if tail == nil {
+			head, tail = nb, nb
+			return
+		}
+		tail.next = nb
+		nb.prev = tail
+		tail = nb
+	}
+	for _, b := range blocks {
+		old := b.off
+		if old != cursor && move != nil {
+			move(old, cursor, b.size)
+		}
+		delete(f.byOff, old)
+		nb := &block{off: cursor, size: b.size}
+		f.byOff[cursor] = nb
+		appendBlock(nb)
+		cursor += b.size
+	}
+	if cursor < f.capacity {
+		appendBlock(&block{off: cursor, size: f.capacity - cursor, free: true})
+	}
+	f.head = head
+	if f.capacity == 0 {
+		f.head = nil
+	}
+}
+
+// FragmentationRatio returns 1 - LargestFree/FreeBytes: 0 when all free
+// space is contiguous, approaching 1 as it shatters. Returns 0 for a full
+// or empty-free heap.
+func (f *FreeList) FragmentationRatio() float64 {
+	free := f.FreeBytes()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(f.LargestFree())/float64(free)
+}
+
+// CheckInvariants validates the block list: exact coverage of
+// [0, capacity), no adjacent free blocks, consistent links, byOff matching
+// the allocated set, and used-byte accounting.
+func (f *FreeList) CheckInvariants() error {
+	if f.capacity == 0 {
+		if f.head != nil || len(f.byOff) != 0 || f.used != 0 {
+			return fmt.Errorf("alloc: zero-capacity heap has state")
+		}
+		return nil
+	}
+	var cursor, used int64
+	seen := 0
+	prevFree := false
+	var prev *block
+	for b := f.head; b != nil; b = b.next {
+		if b.prev != prev {
+			return fmt.Errorf("alloc: broken prev link at offset %d", b.off)
+		}
+		if b.off != cursor {
+			return fmt.Errorf("alloc: gap or overlap at offset %d (expected %d)", b.off, cursor)
+		}
+		if b.size <= 0 {
+			return fmt.Errorf("alloc: non-positive block size %d at offset %d", b.size, b.off)
+		}
+		if b.free && prevFree {
+			return fmt.Errorf("alloc: adjacent free blocks at offset %d", b.off)
+		}
+		if !b.free {
+			used += b.size
+			got, ok := f.byOff[b.off]
+			if !ok || got != b {
+				return fmt.Errorf("alloc: allocated block at %d missing from index", b.off)
+			}
+			seen++
+		}
+		prevFree = b.free
+		cursor += b.size
+		prev = b
+	}
+	if cursor != f.capacity {
+		return fmt.Errorf("alloc: blocks cover %d bytes, capacity %d", cursor, f.capacity)
+	}
+	if used != f.used {
+		return fmt.Errorf("alloc: used accounting %d != actual %d", f.used, used)
+	}
+	if seen != len(f.byOff) {
+		return fmt.Errorf("alloc: index has %d entries, list has %d allocated", len(f.byOff), seen)
+	}
+	return nil
+}
+
+// sortedOffsets returns the allocated offsets in ascending order (testing
+// helper shared with the buddy allocator).
+func sortedOffsets[V any](m map[int64]V) []int64 {
+	out := make([]int64, 0, len(m))
+	for off := range m {
+		out = append(out, off)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"cachedarrays/internal/policy"
+)
+
+// TestConcurrentHintsAndKernels hammers one runtime from many goroutines:
+// the coarse runtime lock must keep the object/region state machine
+// consistent (run with -race to check the host-level synchronization too).
+func TestConcurrentHintsAndKernels(t *testing.T) {
+	rt := NewRuntime(Config{FastBytes: 1 << 20, SlowBytes: 1 << 24, Mode: policy.CALMP})
+	const workers = 8
+	const arraysPerWorker = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			var arrs []*Array
+			for i := 0; i < arraysPerWorker; i++ {
+				a, err := rt.NewArray(16 << 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				arrs = append(arrs, a)
+			}
+			for round := 0; round < 30; round++ {
+				for i, a := range arrs {
+					switch (round + i + seed) % 5 {
+					case 0:
+						_ = a.WillRead()
+					case 1:
+						_ = a.WillWrite()
+					case 2:
+						_ = a.Archive()
+					case 3:
+						_ = a.Evict()
+					case 4:
+						if err := rt.Kernel([]*Array{a}, nil, func(r, _ [][]byte) {
+							_ = r[0][0]
+						}); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+			for _, a := range arrs {
+				a.Retire()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Telemetry().LiveArrays; got != 0 {
+		t.Fatalf("%d arrays leaked", got)
+	}
+}
+
+// TestConcurrentRuntimes runs independent runtimes in parallel — the
+// common pattern in the experiment harness.
+func TestConcurrentRuntimes(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := NewRuntime(Config{FastBytes: 1 << 18, SlowBytes: 1 << 22, Mode: policy.CALM})
+			for j := 0; j < 50; j++ {
+				a, err := rt.NewArray(8 << 10)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := rt.Kernel(nil, []*Array{a}, func(_, w [][]byte) {
+					w[0][0] = byte(j)
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				a.Retire()
+			}
+			if err := rt.CheckInvariants(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,308 @@
+// Package core is the public CachedArrays runtime: the user-facing
+// realization of the paper's framework (§IV). It wires the platform model,
+// the data manager, the garbage collector and a policy together, and
+// exposes Arrays — objects with the Table II hint methods — plus a
+// kernel-scoped access discipline that mirrors the paper's kernel
+// programming model (§III-C): data is reached through the object's current
+// primary region, which is pinned for the duration of a kernel.
+//
+// The runtime has two operating modes:
+//
+//   - backed: device heaps hold real host memory, Array data actually
+//     lives on the (simulated) tiers and round-trips through evictions and
+//     prefetches bit-for-bit. This is the mode applications use.
+//   - unbacked: heaps are pure metadata; terabyte-scale placement studies
+//     run in milliseconds. This is the mode the benchmark harness uses.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/gcsim"
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/policy"
+)
+
+// Config configures a Runtime. Zero values select a small backed runtime
+// suitable for applications (256 MiB DRAM / 1 GiB NVRAM).
+type Config struct {
+	// FastBytes is the fast-tier (DRAM) capacity.
+	FastBytes int64
+	// SlowBytes is the slow-tier (NVRAM) capacity.
+	SlowBytes int64
+	// Mode selects the operating mode (optimization set). Default CALM,
+	// the paper's best all-round configuration.
+	Mode policy.Mode
+	// CopyThreads sizes the movement engine.
+	CopyThreads int
+	// Backed selects real host memory for the tiers. Default true.
+	// Set Unbacked to run metadata-only.
+	Unbacked bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.FastBytes == 0 {
+		c.FastBytes = 256 << 20
+	}
+	if c.SlowBytes == 0 {
+		c.SlowBytes = 1 << 30
+	}
+	if c.CopyThreads == 0 {
+		c.CopyThreads = 4
+	}
+	return c
+}
+
+// Runtime is one CachedArrays instance: two memory tiers, a data manager,
+// a policy, and a collector for deferred frees. A Runtime is safe for
+// concurrent use; operations serialize on an internal mutex (the paper's
+// prototype likewise runs one policy thread).
+type Runtime struct {
+	mu       sync.Mutex
+	platform *memsim.Platform
+	manager  *dm.Manager
+	policy   *policy.Tiered
+	gc       *gcsim.Collector
+	inKernel bool
+	cfg      Config
+}
+
+// NewRuntime constructs a runtime.
+func NewRuntime(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: cfg.FastBytes,
+		SlowCapacity: cfg.SlowBytes,
+		CopyThreads:  cfg.CopyThreads,
+		Backed:       !cfg.Unbacked,
+	})
+	m := dm.New(p)
+	gc := gcsim.New(m, p.Clock)
+	pol := policy.NewTiered(m, cfg.Mode, gc)
+	return &Runtime{platform: p, manager: m, policy: pol, gc: gc, cfg: cfg}
+}
+
+// Mode returns the active operating mode name (e.g. "CA:LM").
+func (rt *Runtime) Mode() string { return rt.policy.Name() }
+
+// Backed reports whether arrays hold real data.
+func (rt *Runtime) Backed() bool { return !rt.cfg.Unbacked }
+
+// Telemetry bundles the runtime's observable state for monitoring.
+type Telemetry struct {
+	FastUsed, FastCapacity int64
+	SlowUsed, SlowCapacity int64
+	LiveArrays             int
+	VirtualTime            float64
+	Policy                 policy.Stats
+	Manager                dm.Stats
+	GC                     gcsim.Stats
+	FastTraffic            memsim.Counters
+	SlowTraffic            memsim.Counters
+}
+
+// Telemetry returns a snapshot of runtime state.
+func (rt *Runtime) Telemetry() Telemetry {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return Telemetry{
+		FastUsed:     rt.manager.UsedBytes(dm.Fast),
+		FastCapacity: rt.platform.Fast.Capacity,
+		SlowUsed:     rt.manager.UsedBytes(dm.Slow),
+		SlowCapacity: rt.platform.Slow.Capacity,
+		LiveArrays:   rt.manager.LiveObjects(),
+		VirtualTime:  rt.platform.Clock.Now(),
+		Policy:       rt.policy.Stats(),
+		Manager:      rt.manager.Stats(),
+		GC:           rt.gc.Stats(),
+		FastTraffic:  rt.platform.Fast.Counters(),
+		SlowTraffic:  rt.platform.Slow.Counters(),
+	}
+}
+
+// Collect runs the garbage collector, reclaiming every retired-but-live
+// array (a no-op under eager-retire modes). Returns bytes reclaimed.
+func (rt *Runtime) Collect() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.gc.Collect()
+}
+
+// Defrag compacts both tiers (the paper defragments between iterations).
+// It must not be called while a kernel is executing.
+func (rt *Runtime) Defrag() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.inKernel {
+		return errors.New("core: Defrag during kernel execution")
+	}
+	rt.manager.Defrag(dm.Fast)
+	rt.manager.Defrag(dm.Slow)
+	return nil
+}
+
+// CheckInvariants validates the full object/region/policy state machine.
+func (rt *Runtime) CheckInvariants() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.policy.CheckInvariants()
+}
+
+// ErrRetired is returned by operations on a retired array.
+var ErrRetired = errors.New("core: array has been retired")
+
+// Array is the user-facing object: a byte array whose placement the
+// runtime manages. All methods are safe for concurrent use with other
+// runtime operations.
+type Array struct {
+	rt   *Runtime
+	obj  *dm.Object
+	size int64
+}
+
+// NewArray allocates an array of the given size. Where it lands (DRAM or
+// NVRAM) is the policy's decision (optimization L).
+func (rt *Runtime) NewArray(size int64) (*Array, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	o, err := rt.policy.NewObject(size)
+	if err != nil {
+		return nil, fmt.Errorf("core: NewArray(%d): %w", size, err)
+	}
+	return &Array{rt: rt, obj: o, size: size}, nil
+}
+
+// Size returns the array's byte length.
+func (a *Array) Size() int64 { return a.size }
+
+// Retired reports whether the array has been retired (directly, or by a
+// collection after a deferred retire).
+func (a *Array) Retired() bool { return a.obj.Retired() }
+
+// InFast reports whether the array's primary currently resides in fast
+// memory.
+func (a *Array) InFast() bool {
+	a.rt.mu.Lock()
+	defer a.rt.mu.Unlock()
+	if a.obj.Retired() {
+		return false
+	}
+	return a.rt.manager.In(a.rt.manager.GetPrimary(a.obj), dm.Fast)
+}
+
+// hint applies fn under the runtime lock, guarding retirement.
+func (a *Array) hint(fn func()) error {
+	a.rt.mu.Lock()
+	defer a.rt.mu.Unlock()
+	if a.obj.Retired() {
+		return ErrRetired
+	}
+	fn()
+	return nil
+}
+
+// WillRead hints an upcoming read (paper Table II).
+func (a *Array) WillRead() error { return a.hint(func() { a.rt.policy.WillRead(a.obj) }) }
+
+// WillWrite hints an upcoming write.
+func (a *Array) WillWrite() error { return a.hint(func() { a.rt.policy.WillWrite(a.obj) }) }
+
+// WillUse hints an upcoming use of unknown direction.
+func (a *Array) WillUse() error { return a.hint(func() { a.rt.policy.WillUse(a.obj) }) }
+
+// Archive hints that the array will not be used for some time.
+func (a *Array) Archive() error { return a.hint(func() { a.rt.policy.Archive(a.obj) }) }
+
+// Retire declares the array dead. Only improper use of Retire affects
+// correctness (paper §III-D). Idempotent.
+func (a *Array) Retire() {
+	a.rt.mu.Lock()
+	defer a.rt.mu.Unlock()
+	if a.obj.Retired() {
+		return
+	}
+	a.rt.policy.Retire(a.obj)
+}
+
+// Evict moves the array to slow memory immediately (exposed for policy
+// experimentation; ordinary applications rely on hints).
+func (a *Array) Evict() error {
+	a.rt.mu.Lock()
+	defer a.rt.mu.Unlock()
+	if a.obj.Retired() {
+		return ErrRetired
+	}
+	return a.rt.policy.Evict(a.obj)
+}
+
+// Prefetch moves the array to fast memory immediately, evicting to make
+// room when force is set. Returns whether the array is now fast-resident.
+func (a *Array) Prefetch(force bool) (bool, error) {
+	a.rt.mu.Lock()
+	defer a.rt.mu.Unlock()
+	if a.obj.Retired() {
+		return false, ErrRetired
+	}
+	return a.rt.policy.Prefetch(a.obj, force), nil
+}
+
+// Kernel executes fn under the kernel programming model: hints are applied
+// for every argument (WillRead for reads, WillWrite for writes), primaries
+// are pinned so they cannot move during execution (§III-C), and fn
+// receives direct byte-slice views of each argument's primary region, in
+// the order given (reads then writes). Writes are marked dirty.
+//
+// The runtime lock is held for fn's duration: kernels serialize, exactly
+// like the paper's single compute stream.
+func (rt *Runtime) Kernel(reads, writes []*Array, fn func(r, w [][]byte)) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.inKernel {
+		return errors.New("core: nested Kernel call")
+	}
+	for _, a := range append(append([]*Array{}, reads...), writes...) {
+		if a.rt != rt {
+			return errors.New("core: array belongs to a different runtime")
+		}
+		if a.obj.Retired() {
+			return ErrRetired
+		}
+	}
+	// Hints first (may move data), then pin.
+	for _, a := range reads {
+		rt.policy.WillRead(a.obj)
+	}
+	for _, a := range writes {
+		rt.policy.WillWrite(a.obj)
+	}
+	pinned := make([]*dm.Object, 0, len(reads)+len(writes))
+	for _, a := range append(append([]*Array{}, reads...), writes...) {
+		rt.policy.Pin(a.obj)
+		pinned = append(pinned, a.obj)
+	}
+	defer func() {
+		for _, o := range pinned {
+			rt.policy.Unpin(o)
+		}
+		rt.inKernel = false
+	}()
+	rt.inKernel = true
+
+	var rbufs, wbufs [][]byte
+	if !rt.cfg.Unbacked {
+		for _, a := range reads {
+			rbufs = append(rbufs, rt.manager.Data(rt.manager.GetPrimary(a.obj)))
+		}
+		for _, a := range writes {
+			wbufs = append(wbufs, rt.manager.Data(rt.manager.GetPrimary(a.obj)))
+		}
+	} else {
+		rbufs = make([][]byte, len(reads))
+		wbufs = make([][]byte, len(writes))
+	}
+	fn(rbufs, wbufs)
+	return nil
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cachedarrays/internal/policy"
+)
+
+func newRT(t *testing.T, fast, slow int64, mode policy.Mode) *Runtime {
+	t.Helper()
+	return NewRuntime(Config{FastBytes: fast, SlowBytes: slow, Mode: mode})
+}
+
+func checkRT(t *testing.T, rt *Runtime) {
+	t.Helper()
+	if err := rt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRuntimeDefaults(t *testing.T) {
+	rt := NewRuntime(Config{})
+	if !rt.Backed() {
+		t.Error("default runtime should be backed")
+	}
+	if rt.Mode() != "CA:0" {
+		// Mode zero value is CAZero; callers pick CALM explicitly.
+		t.Errorf("default mode = %s", rt.Mode())
+	}
+	tel := rt.Telemetry()
+	if tel.FastCapacity != 256<<20 || tel.SlowCapacity != 1<<30 {
+		t.Errorf("default capacities: %d/%d", tel.FastCapacity, tel.SlowCapacity)
+	}
+}
+
+func TestArrayLifecycle(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CALM)
+	a, err := rt.NewArray(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 4096 || a.Retired() {
+		t.Fatalf("array state: size=%d retired=%v", a.Size(), a.Retired())
+	}
+	if !a.InFast() {
+		t.Error("CA:LM array not born in fast memory")
+	}
+	if rt.Telemetry().LiveArrays != 1 {
+		t.Error("telemetry live count wrong")
+	}
+	a.Retire()
+	if !a.Retired() {
+		t.Error("retire did not take effect (eager mode)")
+	}
+	a.Retire() // idempotent
+	checkRT(t, rt)
+}
+
+func TestDataRoundTripThroughTiers(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CALM)
+	a, err := rt.NewArray(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 1<<12)
+	rand.New(rand.NewSource(1)).Read(want)
+	if err := rt.Kernel(nil, []*Array{a}, func(_, w [][]byte) {
+		copy(w[0], want)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	if a.InFast() {
+		t.Fatal("array still fast after evict")
+	}
+	if ok, err := a.Prefetch(true); err != nil || !ok {
+		t.Fatalf("prefetch: ok=%v err=%v", ok, err)
+	}
+	var got []byte
+	if err := rt.Kernel([]*Array{a}, nil, func(r, _ [][]byte) {
+		got = append(got, r[0]...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data corrupted across evict/prefetch round trip")
+	}
+	checkRT(t, rt)
+}
+
+func TestKernelAppliesHints(t *testing.T) {
+	rt := newRT(t, 1<<22, 1<<24, policy.CALM)
+	src, _ := rt.NewArray(1024)
+	dst, _ := rt.NewArray(1024)
+	if err := src.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	// A kernel writing dst must move it to fast (FetchOnWrite); the
+	// read arg stays wherever it is under CA:LM.
+	if err := rt.Kernel([]*Array{src}, []*Array{dst}, func(r, w [][]byte) {
+		copy(w[0], r[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.InFast() {
+		t.Error("written array not in fast memory after kernel")
+	}
+	if src.InFast() {
+		t.Error("read array fetched without prefetch mode")
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CALM)
+	rt2 := newRT(t, 1<<20, 1<<22, policy.CALM)
+	a, _ := rt.NewArray(64)
+	b, _ := rt2.NewArray(64)
+	if err := rt.Kernel([]*Array{b}, nil, func(_, _ [][]byte) {}); err == nil {
+		t.Error("cross-runtime array accepted")
+	}
+	a.Retire()
+	if err := rt.Kernel([]*Array{a}, nil, func(_, _ [][]byte) {}); !errors.Is(err, ErrRetired) {
+		t.Errorf("retired array: %v", err)
+	}
+	c, _ := rt.NewArray(64)
+	if err := rt.Kernel(nil, []*Array{c}, func(_, _ [][]byte) {
+		// nested kernels are rejected (and would deadlock on the
+		// runtime lock if attempted from another goroutine mid-flight;
+		// within one goroutine we guard explicitly before locking).
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHintsOnRetiredArray(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CALM)
+	a, _ := rt.NewArray(64)
+	a.Retire()
+	for name, fn := range map[string]func() error{
+		"WillRead":  a.WillRead,
+		"WillWrite": a.WillWrite,
+		"WillUse":   a.WillUse,
+		"Archive":   a.Archive,
+		"Evict":     a.Evict,
+	} {
+		if err := fn(); !errors.Is(err, ErrRetired) {
+			t.Errorf("%s on retired array: %v", name, err)
+		}
+	}
+	if _, err := a.Prefetch(true); !errors.Is(err, ErrRetired) {
+		t.Errorf("Prefetch on retired array: %v", err)
+	}
+}
+
+func TestDeferredRetireCollect(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CAL)
+	a, _ := rt.NewArray(4096)
+	a.Retire()
+	if a.Retired() {
+		t.Fatal("CA:L retire was eager")
+	}
+	if got := rt.Collect(); got < 4096 {
+		t.Fatalf("collected %d bytes", got)
+	}
+	if !a.Retired() {
+		t.Fatal("array alive after collection")
+	}
+	checkRT(t, rt)
+}
+
+func TestDefrag(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CALM)
+	var arrs []*Array
+	for i := 0; i < 16; i++ {
+		a, err := rt.NewArray(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrs = append(arrs, a)
+	}
+	for i := 0; i < 16; i += 2 {
+		arrs[i].Retire()
+	}
+	if err := rt.Defrag(); err != nil {
+		t.Fatal(err)
+	}
+	checkRT(t, rt)
+	// Survivors keep their content.
+	for i := 1; i < 16; i += 2 {
+		if arrs[i].Retired() {
+			t.Fatalf("survivor %d retired by defrag", i)
+		}
+	}
+}
+
+func TestFloat32Array(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CALM)
+	f, err := rt.NewFloat32Array(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 256 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	want := make([]float32, 256)
+	for i := range want {
+		want[i] = float32(i) * 0.5
+	}
+	if err := f.CopyIn(want); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip through slow memory.
+	if err := f.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 256)
+	if err := f.CopyOut(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := rt.NewFloat32Array(0); err == nil {
+		t.Error("zero-length float array accepted")
+	}
+}
+
+func TestF32Helpers(t *testing.T) {
+	buf := make([]byte, 8)
+	SetF32(buf, 1, 3.25)
+	if got := F32(buf, 1); got != 3.25 {
+		t.Fatalf("F32 round trip = %v", got)
+	}
+}
+
+func TestTelemetryTracksTraffic(t *testing.T) {
+	rt := newRT(t, 1<<20, 1<<22, policy.CALM)
+	a, _ := rt.NewArray(1 << 16)
+	if err := a.Evict(); err != nil {
+		t.Fatal(err)
+	}
+	tel := rt.Telemetry()
+	if tel.SlowTraffic.WriteBytes == 0 {
+		t.Error("eviction produced no slow-tier writes in telemetry")
+	}
+	if tel.VirtualTime <= 0 {
+		t.Error("virtual time did not advance")
+	}
+	if tel.Manager.BytesFastToSlow == 0 {
+		t.Error("manager stats missing movement")
+	}
+}
+
+func TestQuickDataIntegrityUnderChurn(t *testing.T) {
+	// Property: arbitrary interleavings of writes, hints, evictions and
+	// prefetches never corrupt array contents.
+	rt := newRT(t, 1<<18, 1<<22, policy.CALMP)
+	type tracked struct {
+		arr  *Array
+		data []byte
+	}
+	var live []tracked
+	f := func(ops []uint8) bool {
+		for _, op := range ops {
+			switch op % 6 {
+			case 0:
+				if len(live) >= 24 {
+					continue
+				}
+				a, err := rt.NewArray(2048)
+				if err != nil {
+					continue
+				}
+				d := make([]byte, 2048)
+				rand.New(rand.NewSource(int64(op))).Read(d)
+				if err := rt.Kernel(nil, []*Array{a}, func(_, w [][]byte) { copy(w[0], d) }); err != nil {
+					return false
+				}
+				live = append(live, tracked{a, d})
+			case 1:
+				if len(live) > 0 {
+					_ = live[int(op)%len(live)].arr.Evict()
+				}
+			case 2:
+				if len(live) > 0 {
+					_, _ = live[int(op)%len(live)].arr.Prefetch(true)
+				}
+			case 3:
+				if len(live) > 0 {
+					_ = live[int(op)%len(live)].arr.Archive()
+				}
+			case 4:
+				if len(live) > 0 {
+					i := int(op) % len(live)
+					live[i].arr.Retire()
+					live = append(live[:i], live[i+1:]...)
+				}
+			case 5:
+				if len(live) > 0 {
+					tr := live[int(op)%len(live)]
+					ok := true
+					err := rt.Kernel([]*Array{tr.arr}, nil, func(r, _ [][]byte) {
+						ok = bytes.Equal(r[0], tr.data)
+					})
+					if err != nil || !ok {
+						return false
+					}
+				}
+			}
+		}
+		return rt.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

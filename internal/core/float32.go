@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float32Array is a typed view over an Array holding little-endian float32
+// elements — the element type of the paper's CNN training workloads. It
+// uses explicit encode/decode through encoding/binary so the package stays
+// within safe, portable Go; bulk access goes through CopyIn/CopyOut, and
+// element access through At/Set inside a Kernel.
+type Float32Array struct {
+	*Array
+	n int
+}
+
+// NewFloat32Array allocates an array of n float32 elements.
+func (rt *Runtime) NewFloat32Array(n int) (*Float32Array, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: invalid float32 array length %d", n)
+	}
+	a, err := rt.NewArray(int64(n) * 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Float32Array{Array: a, n: n}, nil
+}
+
+// Len returns the element count.
+func (f *Float32Array) Len() int { return f.n }
+
+// CopyIn writes src into the array (through a write kernel).
+func (f *Float32Array) CopyIn(src []float32) error {
+	if len(src) > f.n {
+		return fmt.Errorf("core: CopyIn of %d elements into length-%d array", len(src), f.n)
+	}
+	return f.rt.Kernel(nil, []*Array{f.Array}, func(_, w [][]byte) {
+		buf := w[0]
+		for i, v := range src {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+	})
+}
+
+// CopyOut reads the array's contents into dst (through a read kernel).
+func (f *Float32Array) CopyOut(dst []float32) error {
+	if len(dst) > f.n {
+		return fmt.Errorf("core: CopyOut of %d elements from length-%d array", len(dst), f.n)
+	}
+	return f.rt.Kernel([]*Array{f.Array}, nil, func(r, _ [][]byte) {
+		buf := r[0]
+		for i := range dst {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	})
+}
+
+// F32 reads element i from a kernel buffer.
+func F32(buf []byte, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+}
+
+// SetF32 writes element i of a kernel buffer.
+func SetF32(buf []byte, i int, v float32) {
+	binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+}

@@ -1,0 +1,90 @@
+package dm
+
+import (
+	"testing"
+
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/units"
+)
+
+func TestAccessorsAndSmallPaths(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2, Backed: true,
+	})
+	m := New(p)
+	if m.Device(Fast) != p.Fast || m.Device(Slow) != p.Slow {
+		t.Fatal("Device lookup wrong")
+	}
+	o, err := m.NewObject(256, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ID() == 0 {
+		t.Fatal("object ID zero")
+	}
+	r := m.GetPrimary(o)
+	if r.Class() != Fast || r.Size() != 256 || r.Offset() < 0 {
+		t.Fatalf("region accessors: class=%v size=%d off=%d", r.Class(), r.Size(), r.Offset())
+	}
+	if m.RegionAt(Fast, r.Offset()) != r {
+		t.Fatal("RegionAt lookup wrong")
+	}
+	if m.RegionAt(Fast, r.Offset()+64) != nil {
+		t.Fatal("RegionAt on non-block offset returned a region")
+	}
+	if m.FreeBytes(Fast) != units.MB-m.UsedBytes(Fast) {
+		t.Fatal("FreeBytes inconsistent")
+	}
+	m.MarkDirty(r)
+	m.MarkClean(r)
+	if m.IsDirty(r) {
+		t.Fatal("MarkClean did not clear dirty")
+	}
+	if m.GetLinked(r, Fast) != r {
+		t.Fatal("GetLinked on own tier should return self")
+	}
+	unbound, _ := m.Allocate(Slow, 256)
+	if m.GetLinked(unbound, Fast) != nil {
+		t.Fatal("GetLinked on unbound region returned something")
+	}
+	m.Free(unbound)
+}
+
+func TestGetPrimaryOnRetiredPanics(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{FastCapacity: units.MB, SlowCapacity: units.MB})
+	m := New(p)
+	o, _ := m.NewObject(64, Fast)
+	m.DestroyObject(o)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GetPrimary on retired object did not panic")
+		}
+	}()
+	m.GetPrimary(o)
+}
+
+func TestDataOnFreedRegionPanics(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, Backed: true,
+	})
+	m := New(p)
+	r, _ := m.Allocate(Fast, 64)
+	m.Free(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Data on freed region did not panic")
+		}
+	}()
+	m.Data(r)
+}
+
+func TestSetPrimaryFreedRegionRejected(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{FastCapacity: units.MB, SlowCapacity: units.MB})
+	m := New(p)
+	o, _ := m.NewObject(64, Fast)
+	r, _ := m.Allocate(Slow, 64)
+	m.Free(r)
+	if err := m.SetPrimary(o, r); err == nil {
+		t.Fatal("SetPrimary accepted a freed region")
+	}
+}

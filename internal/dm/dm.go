@@ -1,0 +1,583 @@
+// Package dm implements the CachedArrays data manager (paper §III-C): the
+// data-movement *mechanism* that policies drive through the data management
+// API.
+//
+// The manager owns one heap allocator per memory device and tracks the
+// binding between logical objects and the regions that hold their bytes.
+// Terminology follows the paper exactly:
+//
+//   - an *object* is the logical unit of data the application sees (a
+//     tensor, an array);
+//   - a *region* is a contiguous slice of one device's heap;
+//   - the *primary* region holds the object's current data; other regions
+//     bound to the same object are *secondaries* (copies);
+//   - two regions are *linked* if they are associated with the same object.
+//
+// The API surface mirrors the paper's function list: getprimary/setprimary
+// (objects), allocate/free/copyto/link/unlink/getlinked/sizeof/in/parent
+// plus dirty marking (regions), and evictfrom (devices).
+package dm
+
+import (
+	"errors"
+	"fmt"
+
+	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/memsim"
+)
+
+// Class names the two tiers of the heterogeneous memory system.
+type Class int
+
+const (
+	// Fast is the small high-bandwidth tier (DRAM).
+	Fast Class = iota
+	// Slow is the large low-write-bandwidth tier (NVRAM).
+	Slow
+	// NumClasses is the number of tiers.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Fast:
+		return "fast"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ErrExhausted mirrors alloc.ErrExhausted at the manager level: the
+// requested device cannot hold the region. Policies respond by evicting.
+var ErrExhausted = alloc.ErrExhausted
+
+// Region is a contiguous slice of one device's heap, optionally bound to an
+// object. Fields are read via accessors; all mutation goes through the
+// Manager so invariants hold.
+type Region struct {
+	obj    *Object
+	class  Class
+	offset int64
+	size   int64 // logical (requested) size
+	dirty  bool
+	freed  bool
+}
+
+// Class returns the device tier the region lives on.
+func (r *Region) Class() Class { return r.class }
+
+// Offset returns the region's byte offset within its device heap.
+func (r *Region) Offset() int64 { return r.offset }
+
+// Size returns the region's logical size in bytes.
+func (r *Region) Size() int64 { return r.size }
+
+// Object is the logical data unit. The application (via the policy) holds
+// object handles; regions come and go underneath.
+type Object struct {
+	id      uint64
+	size    int64
+	primary *Region
+	regions [NumClasses]*Region
+	retired bool
+
+	// PolicyData is an opaque slot for the policy's per-object state
+	// (LRU links, usage class). The manager never touches it.
+	PolicyData any
+}
+
+// ID returns the object's unique identifier.
+func (o *Object) ID() uint64 { return o.id }
+
+// Size returns the object's logical size in bytes.
+func (o *Object) Size() int64 { return o.size }
+
+// Retired reports whether the object has been destroyed.
+func (o *Object) Retired() bool { return o.retired }
+
+// Stats counts the manager's data-movement activity.
+type Stats struct {
+	ObjectsCreated   int64
+	ObjectsDestroyed int64
+	Copies           int64
+	BytesFastToSlow  int64
+	BytesSlowToFast  int64
+	BytesWithinFast  int64
+	BytesWithinSlow  int64
+	Evictions        int64
+	DefragMoves      int64
+}
+
+// Manager is the data manager: allocators over the two device heaps plus
+// the object/region state machine.
+type Manager struct {
+	devices [NumClasses]*memsim.Device
+	allocs  [NumClasses]alloc.Allocator
+	copier  *memsim.CopyEngine
+
+	// regionAt maps a heap offset to its region, per device. evictfrom
+	// walks allocator blocks and resolves them to regions through this
+	// index.
+	regionAt [NumClasses]map[int64]*Region
+	objects  map[uint64]*Object
+	nextID   uint64
+	stats    Stats
+	events   *EventLog
+}
+
+// New creates a manager over the platform's two devices using free-list
+// first-fit allocators sized to each device's capacity.
+func New(p *memsim.Platform) *Manager {
+	return NewWithAllocators(p,
+		alloc.NewFreeList(p.Fast.Capacity, alloc.FirstFit),
+		alloc.NewFreeList(p.Slow.Capacity, alloc.FirstFit))
+}
+
+// NewWithAllocators creates a manager with caller-chosen allocators (e.g. a
+// buddy allocator for ablation studies). The allocators' capacities must
+// not exceed the devices'.
+func NewWithAllocators(p *memsim.Platform, fast, slow alloc.Allocator) *Manager {
+	if fast.Capacity() > p.Fast.Capacity || slow.Capacity() > p.Slow.Capacity {
+		panic("dm: allocator capacity exceeds device capacity")
+	}
+	m := &Manager{
+		devices: [NumClasses]*memsim.Device{p.Fast, p.Slow},
+		allocs:  [NumClasses]alloc.Allocator{fast, slow},
+		copier:  p.Copier,
+		objects: make(map[uint64]*Object),
+	}
+	for c := range m.regionAt {
+		m.regionAt[c] = make(map[int64]*Region)
+	}
+	return m
+}
+
+// Device returns the memsim device backing a tier.
+func (m *Manager) Device(c Class) *memsim.Device { return m.devices[c] }
+
+// AllocatorFor returns the heap allocator for a tier.
+func (m *Manager) AllocatorFor(c Class) alloc.Allocator { return m.allocs[c] }
+
+// Stats returns a snapshot of the movement counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the movement counters.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// UsedBytes returns the allocated byte count on a tier (the resident-heap
+// metric of Fig. 3).
+func (m *Manager) UsedBytes(c Class) int64 { return m.allocs[c].Used() }
+
+// FreeBytes returns the unallocated byte count on a tier.
+func (m *Manager) FreeBytes(c Class) int64 { return m.allocs[c].FreeBytes() }
+
+// LiveObjects returns the number of live (non-retired) objects.
+func (m *Manager) LiveObjects() int { return len(m.objects) }
+
+// ---------------------------------------------------------------------------
+// Region functions (paper: allocate, free, copyto, link, unlink, getlinked,
+// sizeof, in, parent, dirty marking).
+
+// Allocate reserves an unbound region of the given size on a tier. It
+// returns ErrExhausted when the tier is full — the policy reacts by
+// evicting and retrying (paper Listing 2).
+func (m *Manager) Allocate(c Class, size int64) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dm: invalid region size %d", size)
+	}
+	off, err := m.allocs[c].Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	r := &Region{class: c, offset: off, size: size}
+	m.regionAt[c][off] = r
+	m.record(EvAlloc, 0, size, c, c)
+	return r, nil
+}
+
+// Free releases a region's heap space. The region must not be the primary
+// of a live object (that would orphan the data); a bound secondary is
+// unbound automatically, matching the paper's evict flow where the old fast
+// region is freed right after the primary moves to slow memory.
+func (m *Manager) Free(r *Region) {
+	if r.freed {
+		panic("dm: double free of region")
+	}
+	if o := r.obj; o != nil {
+		if o.primary == r && !o.retired {
+			panic("dm: freeing the primary region of a live object")
+		}
+		o.regions[r.class] = nil
+		r.obj = nil
+	}
+	delete(m.regionAt[r.class], r.offset)
+	m.allocs[r.class].Free(r.offset)
+	r.freed = true
+	m.record(EvFree, 0, r.size, r.class, r.class)
+}
+
+// SizeOf returns the logical size of a region.
+func (m *Manager) SizeOf(r *Region) int64 { return r.size }
+
+// In reports whether a region lives on the given tier.
+func (m *Manager) In(r *Region, c Class) bool { return r.class == c }
+
+// Parent returns the object a region is bound to, or nil for an unbound
+// region.
+func (m *Manager) Parent(r *Region) *Object { return r.obj }
+
+// GetLinked returns the region linked to r (bound to the same object) on
+// the given tier, or nil if none exists. Asking for r's own tier returns r
+// itself if bound there.
+func (m *Manager) GetLinked(r *Region, c Class) *Region {
+	if r.obj == nil {
+		return nil
+	}
+	return r.obj.regions[c]
+}
+
+// Link associates two regions with the same object: exactly one of them
+// must already be bound, and the other is bound to the same object as its
+// copy on the other tier (paper Listing 2, after a prefetch copy). The
+// freshly linked region starts clean.
+func (m *Manager) Link(a, b *Region) error {
+	if a.class == b.class {
+		return fmt.Errorf("dm: cannot link two regions on the same tier (%v)", a.class)
+	}
+	var bound, loose *Region
+	switch {
+	case a.obj != nil && b.obj == nil:
+		bound, loose = a, b
+	case b.obj != nil && a.obj == nil:
+		bound, loose = b, a
+	case a.obj == nil && b.obj == nil:
+		return errors.New("dm: linking two unbound regions")
+	default:
+		if a.obj == b.obj {
+			return nil // already linked
+		}
+		return errors.New("dm: regions bound to different objects")
+	}
+	o := bound.obj
+	if existing := o.regions[loose.class]; existing != nil && existing != loose {
+		return fmt.Errorf("dm: object %d already has a region on %v", o.id, loose.class)
+	}
+	o.regions[loose.class] = loose
+	loose.obj = o
+	loose.dirty = false
+	return nil
+}
+
+// Unlink dissociates two linked regions: the one that is not the object's
+// primary becomes unbound (paper Listing 1, before freeing the old fast
+// region).
+func (m *Manager) Unlink(a, b *Region) error {
+	if a.obj == nil || a.obj != b.obj {
+		return errors.New("dm: unlinking regions that are not linked")
+	}
+	o := a.obj
+	victim := a
+	if o.primary == a {
+		victim = b
+	}
+	if o.primary == victim {
+		return errors.New("dm: cannot unlink the primary from itself")
+	}
+	o.regions[victim.class] = nil
+	victim.obj = nil
+	return nil
+}
+
+// MarkDirty flags a region as modified relative to its siblings (kernel
+// wrote through it).
+func (m *Manager) MarkDirty(r *Region) { r.dirty = true }
+
+// MarkClean flags a region as consistent with its siblings (just copied).
+func (m *Manager) MarkClean(r *Region) { r.dirty = false }
+
+// IsDirty reports the region's dirty flag.
+func (m *Manager) IsDirty(r *Region) bool { return r.dirty }
+
+// CopyTo copies src's bytes into dst (sizes must match) using the
+// high-bandwidth copy engine; it advances the virtual clock and returns the
+// elapsed time. dst is marked clean: it now holds a faithful copy.
+func (m *Manager) CopyTo(dst, src *Region) float64 {
+	if dst.size != src.size {
+		panic(fmt.Sprintf("dm: copyto size mismatch: dst %d, src %d", dst.size, src.size))
+	}
+	t := m.copier.Copy(m.devices[dst.class], dst.offset, m.devices[src.class], src.offset, src.size)
+	m.stats.Copies++
+	switch {
+	case src.class == Fast && dst.class == Slow:
+		m.stats.BytesFastToSlow += src.size
+	case src.class == Slow && dst.class == Fast:
+		m.stats.BytesSlowToFast += src.size
+	case src.class == Fast:
+		m.stats.BytesWithinFast += src.size
+	default:
+		m.stats.BytesWithinSlow += src.size
+	}
+	dst.dirty = false
+	var owner uint64
+	if src.obj != nil {
+		owner = src.obj.id
+	} else if dst.obj != nil {
+		owner = dst.obj.id
+	}
+	m.record(EvCopy, owner, src.size, src.class, dst.class)
+	return t
+}
+
+// RegionAt returns the region occupying the heap block at offset on tier c,
+// or nil if the offset is not an allocated block's start. Policies use this
+// together with the allocator's block iteration to inspect candidate
+// eviction ranges.
+func (m *Manager) RegionAt(c Class, offset int64) *Region {
+	return m.regionAt[c][offset]
+}
+
+// Data returns the real backing bytes of a region. It panics if the
+// region's device is unbacked; paper-scale simulation runs are unbacked and
+// never touch data, while examples and correctness tests run backed.
+func (m *Manager) Data(r *Region) []byte {
+	if r.freed {
+		panic("dm: Data on freed region")
+	}
+	return m.devices[r.class].Data(r.offset, r.size)
+}
+
+// ---------------------------------------------------------------------------
+// Object functions (paper: getprimary, setprimary).
+
+// NewObject creates an object whose initial primary region is allocated on
+// the given tier. Where that tier is depends on the policy: with local
+// allocation (optimization L) new objects start directly in fast memory;
+// without it they start in slow memory like a hardware cache's backing
+// store.
+func (m *Manager) NewObject(size int64, c Class) (*Object, error) {
+	r, err := m.Allocate(c, size)
+	if err != nil {
+		return nil, err
+	}
+	m.nextID++
+	o := &Object{id: m.nextID, size: size, primary: r}
+	o.regions[c] = r
+	r.obj = o
+	m.objects[o.id] = o
+	m.stats.ObjectsCreated++
+	return o, nil
+}
+
+// GetPrimary returns the object's primary region.
+func (m *Manager) GetPrimary(o *Object) *Region {
+	if o.retired {
+		panic(fmt.Sprintf("dm: GetPrimary on retired object %d", o.id))
+	}
+	return o.primary
+}
+
+// SetPrimary reassigns the object's primary region. An unbound region is
+// bound to the object first (paper Listing 1 line 14: the freshly allocated
+// slow region becomes primary without an explicit link).
+func (m *Manager) SetPrimary(o *Object, r *Region) error {
+	if r.freed {
+		return errors.New("dm: SetPrimary with freed region")
+	}
+	if r.obj == nil {
+		if existing := o.regions[r.class]; existing != nil && existing != r {
+			return fmt.Errorf("dm: object %d already has a region on %v", o.id, r.class)
+		}
+		o.regions[r.class] = r
+		r.obj = o
+	} else if r.obj != o {
+		return errors.New("dm: SetPrimary with a region bound to another object")
+	}
+	from := r.class
+	if o.primary != nil {
+		from = o.primary.class
+	}
+	o.primary = r
+	m.record(EvSetPrimary, o.id, o.size, from, r.class)
+	return nil
+}
+
+// DestroyObject retires an object and frees all its regions. This is the
+// mechanism behind the retire hint and garbage collection.
+func (m *Manager) DestroyObject(o *Object) {
+	if o.retired {
+		panic(fmt.Sprintf("dm: double destroy of object %d", o.id))
+	}
+	o.retired = true
+	var primaryClass Class
+	if o.primary != nil {
+		primaryClass = o.primary.class
+	}
+	m.record(EvDestroy, o.id, o.size, primaryClass, primaryClass)
+	o.primary = nil
+	for c, r := range o.regions {
+		if r == nil {
+			continue
+		}
+		o.regions[c] = nil
+		r.obj = nil
+		delete(m.regionAt[r.class], r.offset)
+		m.allocs[r.class].Free(r.offset)
+		r.freed = true
+	}
+	delete(m.objects, o.id)
+	m.stats.ObjectsDestroyed++
+}
+
+// ---------------------------------------------------------------------------
+// Device functions.
+
+// EvictFrom frees a contiguous block of at least `size` bytes on tier c
+// starting at `start`, by invoking the policy's evict callback for every
+// region overlapping the range (paper Listing 2 lines 9–11). The callback
+// must remove the region from the tier (typically by moving its object's
+// primary elsewhere and freeing it); EvictFrom verifies the range actually
+// became free and returns an error otherwise.
+func (m *Manager) EvictFrom(c Class, start, size int64, evict func(*Region)) error {
+	capacity := m.allocs[c].Capacity()
+	if size > capacity {
+		return fmt.Errorf("dm: evictfrom size %d exceeds tier capacity %d", size, capacity)
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start+size > capacity {
+		start = capacity - size
+	}
+	// Snapshot the overlapping regions first: the callback mutates the
+	// allocator while we'd otherwise be iterating it.
+	var victims []*Region
+	m.allocs[c].BlocksIn(start, size, func(off, blockSize int64) bool {
+		r, ok := m.regionAt[c][off]
+		if !ok {
+			panic(fmt.Sprintf("dm: allocator block at %d on %v has no region", off, c))
+		}
+		victims = append(victims, r)
+		return true
+	})
+	for _, r := range victims {
+		if r.freed {
+			continue // a prior eviction already released it
+		}
+		evict(r)
+		if !r.freed {
+			return fmt.Errorf("dm: evict callback left region at %d on %v allocated", r.offset, c)
+		}
+		m.stats.Evictions++
+	}
+	// The walked range must now be free.
+	blocked := false
+	m.allocs[c].BlocksIn(start, size, func(off, blockSize int64) bool {
+		blocked = true
+		return false
+	})
+	if blocked {
+		return fmt.Errorf("dm: evictfrom range [%d,%d) on %v still occupied", start, start+size, c)
+	}
+	return nil
+}
+
+// Defrag compacts a tier's heap, sliding regions toward offset zero and
+// moving their bytes through the copy engine. The paper defragments the
+// local heap between training iterations (§IV-A); the movement cost is
+// modelled (clock advances) but callers typically reset counters afterward,
+// as the paper's measurement windows do.
+func (m *Manager) Defrag(c Class) {
+	comp, ok := m.allocs[c].(alloc.Compactor)
+	if !ok {
+		return
+	}
+	dev := m.devices[c]
+	comp.Compact(func(old, new, size int64) {
+		r, ok := m.regionAt[c][old]
+		if !ok {
+			panic(fmt.Sprintf("dm: defrag moved unknown block at %d on %v", old, c))
+		}
+		m.copier.Copy(dev, new, dev, old, r.size)
+		delete(m.regionAt[c], old)
+		r.offset = new
+		m.regionAt[c][new] = r
+		m.stats.DefragMoves++
+		var owner uint64
+		if r.obj != nil {
+			owner = r.obj.id
+		}
+		m.record(EvDefragMove, owner, r.size, c, c)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (tests and debug builds).
+
+// CheckInvariants validates the full object/region state machine and the
+// underlying allocators. It returns the first violation found.
+func (m *Manager) CheckInvariants() error {
+	for c := Class(0); c < NumClasses; c++ {
+		if err := m.allocs[c].CheckInvariants(); err != nil {
+			return err
+		}
+		// Every allocator block has exactly one region and vice versa.
+		count := 0
+		var blockErr error
+		m.allocs[c].Blocks(func(off, size int64) bool {
+			count++
+			r, ok := m.regionAt[c][off]
+			if !ok {
+				blockErr = fmt.Errorf("dm: block at %d on %v has no region", off, c)
+				return false
+			}
+			if r.offset != off || r.class != c || r.freed {
+				blockErr = fmt.Errorf("dm: region index mismatch at %d on %v", off, c)
+				return false
+			}
+			if r.size > size {
+				blockErr = fmt.Errorf("dm: region at %d larger than its block (%d > %d)", off, r.size, size)
+				return false
+			}
+			return true
+		})
+		if blockErr != nil {
+			return blockErr
+		}
+		if count != len(m.regionAt[c]) {
+			return fmt.Errorf("dm: %v index has %d regions, allocator has %d blocks",
+				c, len(m.regionAt[c]), count)
+		}
+	}
+	for id, o := range m.objects {
+		if o.retired {
+			return fmt.Errorf("dm: retired object %d still tracked", id)
+		}
+		if o.primary == nil {
+			return fmt.Errorf("dm: live object %d has no primary", id)
+		}
+		found := false
+		for c, r := range o.regions {
+			if r == nil {
+				continue
+			}
+			if r.obj != o {
+				return fmt.Errorf("dm: object %d region on %v points elsewhere", id, Class(c))
+			}
+			if r.class != Class(c) {
+				return fmt.Errorf("dm: object %d region slot %v holds a %v region", id, Class(c), r.class)
+			}
+			if r.size != o.size {
+				return fmt.Errorf("dm: object %d region size %d != object size %d", id, r.size, o.size)
+			}
+			if r == o.primary {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("dm: object %d primary not among its regions", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,558 @@
+package dm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/units"
+)
+
+func newManager(t *testing.T, fastCap, slowCap int64, backed bool) *Manager {
+	t.Helper()
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: fastCap,
+		SlowCapacity: slowCap,
+		CopyThreads:  4,
+		Backed:       backed,
+	})
+	return New(p)
+}
+
+func checkDM(t *testing.T, m *Manager) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Fast.String() != "fast" || Slow.String() != "slow" {
+		t.Error("class strings wrong")
+	}
+	if !strings.Contains(Class(5).String(), "5") {
+		t.Error("unknown class string wrong")
+	}
+}
+
+func TestNewObjectLifecycle(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o, err := m.NewObject(1000, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDM(t, m)
+	if o.Size() != 1000 || o.Retired() {
+		t.Fatalf("object state: size=%d retired=%v", o.Size(), o.Retired())
+	}
+	p := m.GetPrimary(o)
+	if p == nil || !m.In(p, Fast) || m.SizeOf(p) != 1000 {
+		t.Fatalf("primary wrong: %+v", p)
+	}
+	if m.Parent(p) != o {
+		t.Fatal("Parent(primary) != object")
+	}
+	if m.LiveObjects() != 1 {
+		t.Fatalf("LiveObjects = %d", m.LiveObjects())
+	}
+	if m.UsedBytes(Fast) == 0 || m.UsedBytes(Slow) != 0 {
+		t.Fatalf("used: fast=%d slow=%d", m.UsedBytes(Fast), m.UsedBytes(Slow))
+	}
+	m.DestroyObject(o)
+	checkDM(t, m)
+	if !o.Retired() || m.LiveObjects() != 0 || m.UsedBytes(Fast) != 0 {
+		t.Fatal("destroy did not clean up")
+	}
+	if m.Stats().ObjectsCreated != 1 || m.Stats().ObjectsDestroyed != 1 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+}
+
+func TestNewObjectExhaustion(t *testing.T) {
+	m := newManager(t, 4096, units.MB, false)
+	if _, err := m.NewObject(8192, Fast); err != ErrExhausted {
+		t.Fatalf("got %v, want ErrExhausted", err)
+	}
+	if _, err := m.NewObject(-1, Fast); err == nil || err == ErrExhausted {
+		t.Fatalf("negative size: %v", err)
+	}
+}
+
+// evictToSlow implements the paper's Listing 1 on top of the manager — the
+// same flow the policy package uses. Kept here so the dm tests exercise the
+// full published sequence against the raw API.
+func evictToSlow(t *testing.T, m *Manager, o *Object) {
+	t.Helper()
+	x := m.GetPrimary(o)
+	if !m.In(x, Fast) {
+		return
+	}
+	y := m.GetLinked(x, Slow)
+	sz := m.SizeOf(x)
+	allocated := false
+	if y == nil {
+		var err error
+		y, err = m.Allocate(Slow, sz)
+		if err != nil {
+			t.Fatalf("allocate slow: %v", err)
+		}
+		allocated = true
+	}
+	if m.IsDirty(x) || allocated {
+		m.CopyTo(y, x)
+	}
+	if err := m.SetPrimary(o, y); err != nil {
+		t.Fatalf("setprimary: %v", err)
+	}
+	if !allocated {
+		if err := m.Unlink(x, y); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+	}
+	m.Free(x)
+}
+
+// prefetchToFast implements the paper's Listing 2 (without the forced path).
+func prefetchToFast(t *testing.T, m *Manager, o *Object) {
+	t.Helper()
+	x := m.GetPrimary(o)
+	if !m.In(x, Slow) {
+		return
+	}
+	y, err := m.Allocate(Fast, m.SizeOf(x))
+	if err != nil {
+		t.Fatalf("allocate fast: %v", err)
+	}
+	m.CopyTo(y, x)
+	if err := m.Link(x, y); err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if err := m.SetPrimary(o, y); err != nil {
+		t.Fatalf("setprimary: %v", err)
+	}
+}
+
+func TestEvictListingFlowUnlinked(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, true)
+	o, err := m.NewObject(512, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(m.Data(m.GetPrimary(o)), "precious payload")
+
+	evictToSlow(t, m, o)
+	checkDM(t, m)
+	p := m.GetPrimary(o)
+	if !m.In(p, Slow) {
+		t.Fatal("primary not on slow after evict")
+	}
+	if m.UsedBytes(Fast) != 0 {
+		t.Fatal("fast heap not freed after evict")
+	}
+	if got := string(m.Data(p)[:16]); got != "precious payload" {
+		t.Fatalf("data lost in eviction: %q", got)
+	}
+	if m.Stats().BytesFastToSlow != 512 {
+		t.Fatalf("fast->slow bytes = %d", m.Stats().BytesFastToSlow)
+	}
+}
+
+func TestEvictCleanLinkedElidesCopy(t *testing.T) {
+	// Paper Listing 1 lines 11–13: a clean primary with a linked slow
+	// secondary needs no copy at all — the key NVRAM-write-saving
+	// optimization.
+	m := newManager(t, units.MB, units.MB, false)
+	o, err := m.NewObject(1024, Slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefetchToFast(t, m, o)
+	checkDM(t, m)
+	copiesBefore := m.Stats().Copies
+	// Primary (fast) is clean: evict must not copy.
+	evictToSlow(t, m, o)
+	checkDM(t, m)
+	if m.Stats().Copies != copiesBefore {
+		t.Fatal("clean linked evict performed a copy")
+	}
+	if !m.In(m.GetPrimary(o), Slow) {
+		t.Fatal("primary not back on slow")
+	}
+}
+
+func TestEvictDirtyLinkedCopies(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o, err := m.NewObject(1024, Slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefetchToFast(t, m, o)
+	m.MarkDirty(m.GetPrimary(o)) // kernel wrote the fast copy
+	copiesBefore := m.Stats().Copies
+	evictToSlow(t, m, o)
+	if m.Stats().Copies != copiesBefore+1 {
+		t.Fatal("dirty evict did not write back")
+	}
+	checkDM(t, m)
+}
+
+func TestPrefetchListingFlow(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, true)
+	o, err := m.NewObject(256, Slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(m.Data(m.GetPrimary(o)), "slow-born tensor data")
+	prefetchToFast(t, m, o)
+	checkDM(t, m)
+	p := m.GetPrimary(o)
+	if !m.In(p, Fast) {
+		t.Fatal("primary not on fast after prefetch")
+	}
+	if got := string(m.Data(p)[:21]); got != "slow-born tensor data" {
+		t.Fatalf("prefetched data wrong: %q", got)
+	}
+	// Both regions remain, linked.
+	if m.GetLinked(p, Slow) == nil {
+		t.Fatal("slow secondary lost after prefetch")
+	}
+	if m.Stats().BytesSlowToFast != 256 {
+		t.Fatalf("slow->fast bytes = %d", m.Stats().BytesSlowToFast)
+	}
+}
+
+func TestRoundTripPreservesData(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, true)
+	o, err := m.NewObject(4096, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	want := make([]byte, 4096)
+	rng.Read(want)
+	copy(m.Data(m.GetPrimary(o)), want)
+	for i := 0; i < 5; i++ {
+		evictToSlow(t, m, o)
+		prefetchToFast(t, m, o)
+		// Alternate dirtying the fast copy so both evict paths run.
+		if i%2 == 0 {
+			m.MarkDirty(m.GetPrimary(o))
+		}
+	}
+	got := m.Data(m.GetPrimary(o))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d corrupted after round trips", i)
+		}
+	}
+	checkDM(t, m)
+}
+
+func TestLinkErrors(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o1, _ := m.NewObject(64, Fast)
+	o2, _ := m.NewObject(64, Fast)
+	r1 := m.GetPrimary(o1)
+	r2 := m.GetPrimary(o2)
+	if err := m.Link(r1, r2); err == nil {
+		t.Error("linking two same-tier regions succeeded")
+	}
+	s1, _ := m.Allocate(Slow, 64)
+	s2, _ := m.Allocate(Slow, 64)
+	if err := m.Link(s1, s2); err == nil {
+		t.Error("linking two unbound regions succeeded")
+	}
+	if err := m.Link(r1, s1); err != nil {
+		t.Errorf("valid link failed: %v", err)
+	}
+	if err := m.Link(r1, s1); err != nil {
+		t.Errorf("re-link of already-linked pair should be a no-op: %v", err)
+	}
+	if err := m.Link(r1, s2); err == nil {
+		t.Error("second slow region linked to same object")
+	}
+	// Cross-object link.
+	s3, _ := m.Allocate(Slow, 64)
+	if err := m.Link(r2, s3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Link(r1, s3); err == nil {
+		t.Error("linking regions of different objects succeeded")
+	}
+	m.Free(s2)
+	checkDM(t, m)
+}
+
+func TestUnlinkErrors(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o, _ := m.NewObject(64, Fast)
+	r := m.GetPrimary(o)
+	s, _ := m.Allocate(Slow, 64)
+	if err := m.Unlink(r, s); err == nil {
+		t.Error("unlink of non-linked regions succeeded")
+	}
+	if err := m.Link(r, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlink(r, s); err != nil {
+		t.Fatalf("unlink failed: %v", err)
+	}
+	if m.Parent(s) != nil {
+		t.Error("secondary still bound after unlink")
+	}
+	if m.GetPrimary(o) != r {
+		t.Error("primary changed by unlink")
+	}
+	m.Free(s)
+	checkDM(t, m)
+}
+
+func TestSetPrimaryErrors(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o1, _ := m.NewObject(64, Fast)
+	o2, _ := m.NewObject(64, Fast)
+	if err := m.SetPrimary(o1, m.GetPrimary(o2)); err == nil {
+		t.Error("SetPrimary with foreign region succeeded")
+	}
+	r, _ := m.Allocate(Fast, 64)
+	if err := m.SetPrimary(o1, r); err == nil {
+		t.Error("SetPrimary accepted a second fast region")
+	}
+	m.Free(r)
+	s, _ := m.Allocate(Slow, 64)
+	if err := m.SetPrimary(o1, s); err != nil {
+		t.Errorf("SetPrimary with unbound slow region: %v", err)
+	}
+	if !m.In(m.GetPrimary(o1), Slow) {
+		t.Error("primary did not move")
+	}
+	checkDM(t, m)
+}
+
+func TestFreePrimaryPanics(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o, _ := m.NewObject(64, Fast)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing live primary did not panic")
+		}
+	}()
+	m.Free(m.GetPrimary(o))
+}
+
+func TestDoubleDestroyPanics(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o, _ := m.NewObject(64, Fast)
+	m.DestroyObject(o)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double destroy did not panic")
+		}
+	}()
+	m.DestroyObject(o)
+}
+
+func TestCopyToSizeMismatchPanics(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	a, _ := m.Allocate(Fast, 64)
+	b, _ := m.Allocate(Slow, 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched copyto did not panic")
+		}
+	}()
+	m.CopyTo(b, a)
+}
+
+func TestEvictFromFreesContiguousRange(t *testing.T) {
+	m := newManager(t, 64*1024, units.MB, false)
+	// Fill fast memory with 16 objects of 4 KiB.
+	var objs []*Object
+	for i := 0; i < 16; i++ {
+		o, err := m.NewObject(4096, Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	if _, err := m.Allocate(Fast, 16*1024); err != ErrExhausted {
+		t.Fatalf("fast heap should be full: %v", err)
+	}
+	// Free a 16 KiB contiguous range starting at 8 KiB by evicting the
+	// overlapped objects to slow memory.
+	err := m.EvictFrom(Fast, 8*1024, 16*1024, func(r *Region) {
+		evictToSlow(t, m, m.Parent(r))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDM(t, m)
+	if _, err := m.Allocate(Fast, 16*1024); err != nil {
+		t.Fatalf("contiguous alloc after evictfrom: %v", err)
+	}
+	if m.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// Evicted objects live on slow, others untouched on fast.
+	fastCount := 0
+	for _, o := range objs {
+		if m.In(m.GetPrimary(o), Fast) {
+			fastCount++
+		}
+	}
+	if fastCount != 12 {
+		t.Fatalf("%d objects remain on fast, want 12", fastCount)
+	}
+}
+
+func TestEvictFromClampsRange(t *testing.T) {
+	m := newManager(t, 64*1024, units.MB, false)
+	o, _ := m.NewObject(60*1024, Fast)
+	// start near the top: range must clamp to fit within capacity.
+	err := m.EvictFrom(Fast, 60*1024, 32*1024, func(r *Region) {
+		evictToSlow(t, m, m.Parent(r))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.In(m.GetPrimary(o), Fast) {
+		t.Fatal("object not evicted by clamped range")
+	}
+	if err := m.EvictFrom(Fast, 0, 128*1024, nil); err == nil {
+		t.Fatal("oversized evictfrom succeeded")
+	}
+}
+
+func TestEvictFromDetectsBadCallback(t *testing.T) {
+	m := newManager(t, 64*1024, units.MB, false)
+	if _, err := m.NewObject(4096, Fast); err != nil {
+		t.Fatal(err)
+	}
+	err := m.EvictFrom(Fast, 0, 8*1024, func(r *Region) {
+		// Bad policy: does not actually remove the region.
+	})
+	if err == nil {
+		t.Fatal("evictfrom accepted a callback that freed nothing")
+	}
+}
+
+func TestDefragCompactsAndPreservesData(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, true)
+	var objs []*Object
+	for i := 0; i < 10; i++ {
+		o, err := m.NewObject(1024, Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Data(m.GetPrimary(o))[0] = byte('a' + i)
+		objs = append(objs, o)
+	}
+	// Punch holes.
+	for i := 0; i < 10; i += 2 {
+		m.DestroyObject(objs[i])
+	}
+	m.Defrag(Fast)
+	checkDM(t, m)
+	if m.Stats().DefragMoves == 0 {
+		t.Fatal("defrag moved nothing")
+	}
+	fl := m.AllocatorFor(Fast).(*alloc.FreeList)
+	if fl.FragmentationRatio() != 0 {
+		t.Fatalf("still fragmented: %v", fl.FragmentationRatio())
+	}
+	for i := 1; i < 10; i += 2 {
+		if got := m.Data(m.GetPrimary(objs[i]))[0]; got != byte('a'+i) {
+			t.Fatalf("object %d data corrupted by defrag: %q", i, got)
+		}
+	}
+}
+
+func TestNewWithAllocatorsBuddy(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: 1 << 20, SlowCapacity: 1 << 20, CopyThreads: 2,
+	})
+	fast, err := alloc.NewBuddy(1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := alloc.NewBuddy(1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewWithAllocators(p, fast, slow)
+	o, err := m.NewObject(5000, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDM(t, m)
+	m.DestroyObject(o)
+	checkDM(t, m)
+}
+
+func TestManagerRandomWorkload(t *testing.T) {
+	m := newManager(t, 256*1024, 64*units.MB, false)
+	rng := rand.New(rand.NewSource(7))
+	var live []*Object
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // allocate
+			size := int64(1 + rng.Intn(8192))
+			class := Class(rng.Intn(2))
+			o, err := m.NewObject(size, class)
+			if err == ErrExhausted {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, o)
+		case 4, 5: // evict random object
+			if len(live) > 0 {
+				evictToSlow(t, m, live[rng.Intn(len(live))])
+			}
+		case 6, 7: // prefetch random object (skip if fast is tight)
+			if len(live) > 0 {
+				o := live[rng.Intn(len(live))]
+				if m.In(m.GetPrimary(o), Slow) &&
+					m.AllocatorFor(Fast).LargestFree() > o.Size()+alloc.DefaultMinBlock {
+					prefetchToFast(t, m, o)
+				}
+			}
+		case 8: // dirty the primary
+			if len(live) > 0 {
+				m.MarkDirty(m.GetPrimary(live[rng.Intn(len(live))]))
+			}
+		case 9: // destroy
+			if len(live) > 0 {
+				i := rng.Intn(len(live))
+				m.DestroyObject(live[i])
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if i%100 == 0 {
+			checkDM(t, m)
+		}
+	}
+	for _, o := range live {
+		m.DestroyObject(o)
+	}
+	checkDM(t, m)
+	if m.UsedBytes(Fast) != 0 || m.UsedBytes(Slow) != 0 {
+		t.Fatal("heaps not empty after destroying all objects")
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	m := newManager(t, units.MB, units.MB, false)
+	o, _ := m.NewObject(64, Fast)
+	evictToSlow(t, m, o)
+	if m.Stats() == (Stats{}) {
+		t.Fatal("stats empty after activity")
+	}
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Fatal("stats not reset")
+	}
+}

@@ -1,0 +1,136 @@
+package dm
+
+import (
+	"fmt"
+
+	"cachedarrays/internal/units"
+)
+
+// EventKind labels one data-manager action.
+type EventKind int
+
+const (
+	// EvAlloc: a region was allocated.
+	EvAlloc EventKind = iota
+	// EvFree: a region was freed.
+	EvFree
+	// EvCopy: bytes moved between regions.
+	EvCopy
+	// EvSetPrimary: an object's primary moved to another region.
+	EvSetPrimary
+	// EvDestroy: an object was destroyed (retire/GC).
+	EvDestroy
+	// EvDefragMove: compaction relocated a region.
+	EvDefragMove
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAlloc:
+		return "alloc"
+	case EvFree:
+		return "free"
+	case EvCopy:
+		return "copy"
+	case EvSetPrimary:
+		return "setprimary"
+	case EvDestroy:
+		return "destroy"
+	case EvDefragMove:
+		return "defrag"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one recorded data-manager action — the movement audit trail a
+// production tiering runtime needs for debugging placement decisions.
+type Event struct {
+	Time   float64 // virtual seconds
+	Kind   EventKind
+	Object uint64 // owning object ID (0 if unbound)
+	Bytes  int64
+	// From/To are tiers for movement events; for alloc/free, To/From
+	// hold the region's tier respectively.
+	From Class
+	To   Class
+}
+
+// String renders a single-line trace entry.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCopy, EvDefragMove, EvSetPrimary:
+		return fmt.Sprintf("%10.6fs  %-10s obj=%-6d %10s  %v->%v",
+			e.Time, e.Kind, e.Object, units.Bytes(e.Bytes), e.From, e.To)
+	case EvAlloc:
+		return fmt.Sprintf("%10.6fs  %-10s obj=%-6d %10s  on %v",
+			e.Time, e.Kind, e.Object, units.Bytes(e.Bytes), e.To)
+	default:
+		return fmt.Sprintf("%10.6fs  %-10s obj=%-6d %10s  on %v",
+			e.Time, e.Kind, e.Object, units.Bytes(e.Bytes), e.From)
+	}
+}
+
+// EventLog is a bounded ring of recent events plus lifetime counts. The
+// bound keeps terabyte-scale runs from hoarding host memory; Total always
+// reflects the full history.
+type EventLog struct {
+	ring  []Event
+	next  int
+	full  bool
+	total int64
+}
+
+// NewEventLog creates a log retaining the last n events.
+func NewEventLog(n int) *EventLog {
+	if n <= 0 {
+		n = 1024
+	}
+	return &EventLog{ring: make([]Event, n)}
+}
+
+// Record appends an event.
+func (l *EventLog) Record(e Event) {
+	l.ring[l.next] = e
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	l.total++
+}
+
+// Total returns the lifetime event count.
+func (l *EventLog) Total() int64 { return l.total }
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if !l.full {
+		return append([]Event(nil), l.ring[:l.next]...)
+	}
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// SetEventLog attaches (or detaches, with nil) an event log to the
+// manager. Recording costs one struct copy per action; production runs
+// leave it off.
+func (m *Manager) SetEventLog(l *EventLog) { m.events = l }
+
+// now returns the current virtual time for event stamps.
+func (m *Manager) now() float64 {
+	if m.copier == nil || m.copier.Clock == nil {
+		return 0
+	}
+	return m.copier.Clock.Now()
+}
+
+// record appends an event if a log is attached.
+func (m *Manager) record(kind EventKind, obj uint64, bytes int64, from, to Class) {
+	if m.events == nil {
+		return
+	}
+	m.events.Record(Event{Time: m.now(), Kind: kind, Object: obj, Bytes: bytes, From: from, To: to})
+}

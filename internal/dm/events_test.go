@@ -1,0 +1,106 @@
+package dm
+
+import (
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/units"
+)
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	m := New(p)
+	log := NewEventLog(64)
+	m.SetEventLog(log)
+
+	o, err := m.NewObject(4096, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Allocate(Slow, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CopyTo(s, m.GetPrimary(o))
+	if err := m.SetPrimary(o, s); err != nil {
+		t.Fatal(err)
+	}
+	m.DestroyObject(o)
+
+	kinds := map[EventKind]int{}
+	for _, e := range log.Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[EvAlloc] != 2 {
+		t.Errorf("allocs = %d, want 2", kinds[EvAlloc])
+	}
+	if kinds[EvCopy] != 1 || kinds[EvSetPrimary] != 1 || kinds[EvDestroy] != 1 {
+		t.Errorf("kinds: %v", kinds)
+	}
+	// The copy event records the direction.
+	for _, e := range log.Events() {
+		if e.Kind == EvCopy {
+			if e.From != Fast || e.To != Slow || e.Bytes != 4096 {
+				t.Errorf("copy event wrong: %+v", e)
+			}
+			if !strings.Contains(e.String(), "fast->slow") {
+				t.Errorf("copy render: %s", e)
+			}
+		}
+	}
+	if log.Total() != int64(len(log.Events())) {
+		t.Errorf("total %d != retained %d", log.Total(), len(log.Events()))
+	}
+}
+
+func TestEventLogRingBounds(t *testing.T) {
+	log := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		log.Record(Event{Bytes: int64(i)})
+	}
+	ev := log.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d, want 4", len(ev))
+	}
+	// Oldest-first: 6,7,8,9.
+	for i, e := range ev {
+		if e.Bytes != int64(6+i) {
+			t.Fatalf("ring order wrong: %v", ev)
+		}
+	}
+	if log.Total() != 10 {
+		t.Fatalf("total = %d", log.Total())
+	}
+}
+
+func TestEventLogZeroSizeDefaults(t *testing.T) {
+	log := NewEventLog(0)
+	log.Record(Event{})
+	if len(log.Events()) != 1 {
+		t.Fatal("default-size log broken")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EvAlloc, EvFree, EvCopy, EvSetPrimary, EvDestroy, EvDefragMove} {
+		if strings.Contains(k.String(), "EventKind") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Error("unknown kind render wrong")
+	}
+}
+
+func TestNoLogMeansNoRecording(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB,
+	})
+	m := New(p)
+	// Must not panic with a nil log.
+	o, _ := m.NewObject(64, Fast)
+	m.DestroyObject(o)
+}

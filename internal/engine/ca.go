@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"fmt"
+
+	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/gcsim"
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/policy"
+	"cachedarrays/internal/trace"
+)
+
+// NVRAMOnly as a FastCapacity requests a zero-DRAM run (the right edge of
+// Fig. 7). A plain zero means "paper default".
+const NVRAMOnly = -1
+
+// resolveCapacity maps the Config convention (0 = default, NVRAMOnly = 0
+// bytes) to a concrete byte count.
+func resolveCapacity(c, def int64) int64 {
+	switch {
+	case c == NVRAMOnly:
+		return 0
+	case c == 0:
+		return def
+	default:
+		return c
+	}
+}
+
+// newPlatform builds the platform from a resolved config.
+func newPlatform(cfg Config) *memsim.Platform {
+	clock := &memsim.Clock{}
+	fast := memsim.NewDevice("dram", memsim.DRAM,
+		resolveCapacity(cfg.FastCapacity, memsim.DefaultFastCapacity), memsim.DRAMProfile())
+	slowProfile := memsim.NVRAMProfile()
+	slowName := "nvram"
+	if cfg.SlowTier == "cxl" {
+		slowProfile = memsim.CXLProfile()
+		slowName = "cxl"
+	}
+	slow := memsim.NewDevice(slowName, memsim.NVRAM,
+		resolveCapacity(cfg.SlowCapacity, memsim.DefaultSlowCapacity), slowProfile)
+	copier := memsim.NewCopyEngine(clock, cfg.CopyThreads)
+	copier.Async = cfg.AsyncMovement
+	if cfg.AsyncMovement {
+		// A mover that nothing blocks on is free to pace its write
+		// streams at the destination's optimal parallelism (§V-d).
+		copier.WriteThreadCap = slow.Profile.WritePeakThreads
+	}
+	return &memsim.Platform{
+		Clock:   clock,
+		Fast:    fast,
+		Slow:    slow,
+		Copier:  copier,
+		Compute: memsim.DefaultCompute(),
+	}
+}
+
+// RunCA executes a training run under the CachedArrays runtime in the
+// given operating mode.
+func RunCA(model *models.Model, mode policy.Mode, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	p := newPlatform(cfg)
+	m, err := newManager(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gc := gcsim.New(m, p.Clock)
+	pcfg := policy.ConfigFor(mode)
+	pcfg.PreferCleanVictims = cfg.PreferCleanVictims
+	pol := policy.NewTieredConfig(m, pcfg, mode.String(), gc)
+	return runCA(model, pol, gc, p, m, cfg)
+}
+
+// newManager builds the data manager with the configured heap allocator.
+func newManager(p *memsim.Platform, cfg Config) (*dm.Manager, error) {
+	mk := func(capacity int64) (alloc.Allocator, error) {
+		switch cfg.Allocator {
+		case "", "firstfit":
+			return alloc.NewFreeList(capacity, alloc.FirstFit), nil
+		case "bestfit":
+			return alloc.NewFreeList(capacity, alloc.BestFit), nil
+		case "buddy":
+			// Round capacity down to a power of two (the buddy
+			// allocator's requirement); the lost tail models the
+			// rounding a real deployment would accept.
+			c := int64(1)
+			for c*2 <= capacity {
+				c *= 2
+			}
+			if capacity == 0 {
+				return alloc.NewFreeList(0, alloc.FirstFit), nil
+			}
+			return alloc.NewBuddy(c, 0)
+		default:
+			return nil, fmt.Errorf("engine: unknown allocator %q", cfg.Allocator)
+		}
+	}
+	fast, err := mk(p.Fast.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	slow, err := mk(p.Slow.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	return dm.NewWithAllocators(p, fast, slow), nil
+}
+
+// RunCAConfig is RunCA with explicit policy switches (ablations).
+func RunCAConfig(model *models.Model, pcfg policy.Config, name string, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	p := newPlatform(cfg)
+	m, err := newManager(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gc := gcsim.New(m, p.Clock)
+	pol := policy.NewTieredConfig(m, pcfg, name, gc)
+	return runCA(model, pol, gc, p, m, cfg)
+}
+
+func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
+	p *memsim.Platform, m *dm.Manager, cfg Config) (*Result, error) {
+
+	sched := trace.New(model)
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{ModelName: model.Name, Mode: pol.Name(), Config: cfg}
+	res.recordPeaks(p)
+	var events *dm.EventLog
+	if cfg.TraceEvents > 0 {
+		events = dm.NewEventLog(cfg.TraceEvents)
+		m.SetEventLog(events)
+	}
+	objs := make([]*dm.Object, len(model.Tensors))
+
+	// Persistent tensors (weights, gradients, input batch) are allocated
+	// once; the paper pre-allocates and first-touches all heaps before
+	// measuring, so setup traffic is excluded from iteration metrics.
+	for _, id := range sched.Persistent {
+		o, err := pol.NewObject(model.Tensors[id].Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("engine: allocating persistent tensor %s: %w",
+				model.Tensors[id].Name, err)
+		}
+		objs[id] = o
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := p.Clock.Now()
+		fastBase, slowBase := p.Fast.Counters(), p.Slow.Counters()
+		gcBase := gc.Stats().PauseTime
+		var it IterationMetrics
+		sampling := cfg.SampleHeap && iter == cfg.Iterations-1
+		if sampling {
+			res.HeapSamples = res.HeapSamples[:0]
+		}
+
+		// readyAt tracks, per tensor, when its in-flight asynchronous
+		// move completes; kernels wait on their arguments' entries.
+		var readyAt map[int]float64
+		if cfg.AsyncMovement {
+			readyAt = make(map[int]float64, 64)
+		}
+		for ki := range model.Kernels {
+			k := &model.Kernels[ki]
+			hintStart := p.Clock.Now()
+
+			// Allocate transients whose first use is this kernel.
+			for _, id := range sched.AllocBefore[ki] {
+				o, err := pol.NewObject(model.Tensors[id].Bytes)
+				if err != nil {
+					return nil, fmt.Errorf("engine: iter %d kernel %s: allocating %s: %w",
+						iter, k.Name, model.Tensors[id].Name, err)
+				}
+				objs[id] = o
+			}
+			// Emit the semantic hints; the policy may move data in
+			// response. With synchronous movement the application
+			// stalls here; with an asynchronous mover the copies
+			// queue and only the data dependency is recorded.
+			hint := func(id int, write bool) {
+				o := objs[id]
+				if o == nil || o.Retired() {
+					return
+				}
+				before := p.Copier.BusyUntil()
+				if write {
+					pol.WillWrite(o)
+				} else {
+					pol.WillRead(o)
+				}
+				// Record the dependency only when this hint
+				// actually queued movement for this object;
+				// unrelated background writebacks do not block
+				// the kernel.
+				if after := p.Copier.BusyUntil(); readyAt != nil && after > before {
+					readyAt[id] = after
+				}
+			}
+			for _, id := range k.Reads {
+				hint(id, false)
+			}
+			for _, id := range k.Writes {
+				hint(id, true)
+			}
+			// Lookahead: announce a future kernel's reads now, so an
+			// asynchronous mover can stage them behind this kernel's
+			// execution ("will read in the NEAR future", Table II).
+			if la := cfg.HintLookahead; la > 0 && ki+la < len(model.Kernels) {
+				for _, id := range model.Kernels[ki+la].Reads {
+					hint(id, false)
+				}
+			}
+			it.MoveTime += p.Clock.Now() - hintStart
+			// Wait for this kernel's arguments to finish moving.
+			if readyAt != nil {
+				var need float64
+				for _, id := range append(append([]int{}, k.Reads...), k.Writes...) {
+					if t, ok := readyAt[id]; ok && t > need {
+						need = t
+					}
+				}
+				if wait := need - p.Clock.Now(); wait > 0 {
+					p.Clock.Advance(wait)
+					it.MoveTime += wait
+				}
+			}
+
+			// Execute the kernel: primaries are pinned for its
+			// duration (§III-C) and the roofline time is charged.
+			var readBytes, writeBytes [2]int64
+			rf := k.EffectiveReadFactor()
+			for _, id := range k.Reads {
+				o := objs[id]
+				pol.Pin(o)
+				// Kernel-internal re-reads of the data input
+				// stream from wherever the primary lives — there
+				// is no hardware cache to absorb them (unlike
+				// 2LM). Gradients and weights stream once.
+				f := 1.0
+				if amplified(model.Tensors[id].Kind) {
+					f = rf
+				}
+				readBytes[m.GetPrimary(o).Class()] += int64(float64(o.Size()) * f)
+			}
+			for _, id := range k.Writes {
+				o := objs[id]
+				pol.Pin(o)
+				writeBytes[m.GetPrimary(o).Class()] += o.Size()
+			}
+			kt := kernelTime(p, k.FLOPs, readBytes, writeBytes)
+			p.Clock.Advance(kt)
+			it.ComputeTime += kt
+			for _, id := range k.Reads {
+				pol.Unpin(objs[id])
+			}
+			for _, id := range k.Writes {
+				pol.Unpin(objs[id])
+			}
+
+			// Post-kernel annotations.
+			if !cfg.NoArchiveHints {
+				for _, id := range sched.ArchiveAfter[ki] {
+					pol.Archive(objs[id])
+				}
+			}
+			for _, id := range sched.RetireAfter[ki] {
+				pol.Retire(objs[id])
+				objs[id] = nil
+			}
+
+			used := m.UsedBytes(dm.Fast) + m.UsedBytes(dm.Slow)
+			if used > res.PeakHeap {
+				res.PeakHeap = used
+			}
+			if sampling {
+				res.HeapSamples = append(res.HeapSamples,
+					HeapSample{Time: p.Clock.Now() - iterStart, Used: used})
+			}
+		}
+
+		// End of iteration: drain any in-flight asynchronous moves,
+		// then the paper's procedure — invoke the GC to clean up all
+		// temporary memory and defragment the heaps (§IV-A). The GC
+		// pause is measured; defragmentation happens between the
+		// measurement windows.
+		if cfg.AsyncMovement {
+			if wait := p.Copier.BusyUntil() - p.Clock.Now(); wait > 0 {
+				p.Clock.Advance(wait)
+				it.MoveTime += wait
+			}
+		}
+		gc.Collect()
+		it.GCTime = gc.Stats().PauseTime - gcBase
+		it.Time = p.Clock.Now() - iterStart
+		it.Fast = p.Fast.Counters().Sub(fastBase)
+		it.Slow = p.Slow.Counters().Sub(slowBase)
+		res.Iterations = append(res.Iterations, it)
+
+		if cfg.CheckInvariants {
+			if err := pol.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("engine: after iter %d: %w", iter, err)
+			}
+			if live := transientLive(objs, sched); live != 0 {
+				return nil, fmt.Errorf("engine: %d transient objects leaked after iter %d", live, iter)
+			}
+		}
+		m.Defrag(dm.Fast)
+		m.Defrag(dm.Slow)
+	}
+
+	res.Policy = pol.Stats()
+	res.DM = m.Stats()
+	res.GC = gc.Stats()
+	if events != nil {
+		res.Events = events.Events()
+	}
+	res.aggregate()
+	return res, nil
+}
+
+// transientLive counts transient objects still alive (all must be nil or
+// retired after an iteration's final GC).
+func transientLive(objs []*dm.Object, sched *trace.Schedule) int {
+	persistent := make(map[int]bool, len(sched.Persistent))
+	for _, id := range sched.Persistent {
+		persistent[id] = true
+	}
+	n := 0
+	for id, o := range objs {
+		if o == nil || persistent[id] {
+			continue
+		}
+		if !o.Retired() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+
+	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/pagemig"
+	"cachedarrays/internal/trace"
+)
+
+// RunPageMig executes a training run under the OS page-tiering baseline
+// (Table I's "Operating System" row — Nimble/HeMem-style): transparent,
+// reactive migration of fixed-size pages by observed hotness, with no
+// application hints. The application side gets the same best-case
+// treatment as 2LM:M (eager frees, the CachedArrays allocator over a
+// pre-allocated heap) so the comparison isolates the data-movement
+// mechanism.
+func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if pcfg.PageSize == 0 {
+		pcfg = pagemig.DefaultConfig()
+	}
+	p := newPlatform(cfg)
+	mig, err := pagemig.New(p, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	sched := trace.New(model)
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{ModelName: model.Name, Mode: "OS:page", Config: cfg}
+	res.recordPeaks(p)
+
+	heap := alloc.NewFreeList(p.Slow.Capacity, alloc.FirstFit)
+	addrs := make([]int64, len(model.Tensors))
+	allocate := func(id int) error {
+		a, err := heap.Alloc(model.Tensors[id].Bytes)
+		if err != nil {
+			return fmt.Errorf("engine: pagemig heap: allocating %s: %w", model.Tensors[id].Name, err)
+		}
+		addrs[id] = a
+		return nil
+	}
+	for _, id := range sched.Persistent {
+		if err := allocate(id); err != nil {
+			return nil, err
+		}
+	}
+
+	kernelsSinceEpoch := 0
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := p.Clock.Now()
+		fastBase, slowBase := p.Fast.Counters(), p.Slow.Counters()
+		var it IterationMetrics
+		sampling := cfg.SampleHeap && iter == cfg.Iterations-1
+		if sampling {
+			res.HeapSamples = res.HeapSamples[:0]
+		}
+
+		for ki := range model.Kernels {
+			k := &model.Kernels[ki]
+			for _, id := range sched.AllocBefore[ki] {
+				if err := allocate(id); err != nil {
+					return nil, err
+				}
+			}
+			var memTime float64
+			rf := k.EffectiveReadFactor()
+			for _, id := range k.Reads {
+				r := mig.Access(addrs[id], model.Tensors[id].Bytes, false, kernelAccess)
+				memTime += r.Time
+				if !amplified(model.Tensors[id].Kind) || rf <= 1 {
+					continue
+				}
+				// Kernel-internal re-reads stream from wherever the
+				// pages live, in the observed fast/slow proportion.
+				extra := rf - 1
+				memTime += p.Fast.Read(int64(float64(r.FastBytes)*extra), kernelAccess)
+				memTime += p.Slow.Read(int64(float64(r.SlowBytes)*extra), kernelAccess)
+			}
+			for _, id := range k.Writes {
+				memTime += mig.Access(addrs[id], model.Tensors[id].Bytes, true, kernelAccess).Time
+			}
+			kt := k.FLOPs/p.Compute.PeakFlops + p.Compute.LaunchOverhead
+			if memTime > kt {
+				kt = memTime
+			}
+			p.Clock.Advance(kt)
+			it.ComputeTime += kt
+
+			// The OS daemon wakes periodically; its migrations land
+			// on the application's critical path (page faults, TLB
+			// shootdowns). The copier has already advanced the
+			// clock; account the duration as movement stall.
+			kernelsSinceEpoch++
+			if kernelsSinceEpoch >= pcfg.EpochKernels {
+				it.MoveTime += mig.Epoch()
+				kernelsSinceEpoch = 0
+			}
+
+			for _, id := range sched.RetireAfter[ki] {
+				heap.Free(addrs[id]) // eager, best-case resource management
+			}
+			if heap.Used() > res.PeakHeap {
+				res.PeakHeap = heap.Used()
+			}
+			if sampling {
+				res.HeapSamples = append(res.HeapSamples,
+					HeapSample{Time: p.Clock.Now() - iterStart, Used: heap.Used()})
+			}
+		}
+
+		it.Time = p.Clock.Now() - iterStart
+		it.Fast = p.Fast.Counters().Sub(fastBase)
+		it.Slow = p.Slow.Counters().Sub(slowBase)
+		res.Iterations = append(res.Iterations, it)
+
+		if cfg.CheckInvariants {
+			if err := heap.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("engine: pagemig heap after iter %d: %w", iter, err)
+			}
+		}
+	}
+	res.aggregate()
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fmt"
+
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/planner"
+	"cachedarrays/internal/trace"
+)
+
+// RunPlanned executes a training run under a static, ahead-of-time plan
+// (the AutoTM-style "Compiler" row of Table I): every tensor's residency
+// was decided offline; the runtime just executes the placements and the
+// planned offload/restore copies. No hints, no adaptive policy.
+//
+// If the plan is nil, one is built from the model and the DRAM budget.
+func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	p := newPlatform(cfg)
+	m, err := newManager(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		// Reserve a little headroom for allocator alignment slack.
+		budget := resolveCapacity(cfg.FastCapacity, p.Fast.Capacity) * 97 / 100
+		plan = planner.Build(model, budget, planner.DefaultCostModel())
+	}
+	if len(plan.Placement) != len(model.Tensors) {
+		return nil, fmt.Errorf("engine: plan covers %d tensors, model has %d",
+			len(plan.Placement), len(model.Tensors))
+	}
+	sched := trace.New(model)
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{ModelName: model.Name, Mode: "AutoTM:plan", Config: cfg}
+	res.recordPeaks(p)
+	objs := make([]*dm.Object, len(model.Tensors))
+
+	// Index the planned offload and restore points by kernel.
+	offloadAt := make([][]int, len(model.Kernels))
+	restoreAt := make([][]int, len(model.Kernels))
+	for id, pl := range plan.Placement {
+		if pl == planner.Offload {
+			offloadAt[plan.OffloadAfter[id]] = append(offloadAt[plan.OffloadAfter[id]], id)
+			restoreAt[plan.RestoreBefore[id]] = append(restoreAt[plan.RestoreBefore[id]], id)
+		}
+	}
+
+	// allocate places a tensor on its planned tier, falling back to slow
+	// memory if fragmentation defeats the plan (counted as a fetch
+	// failure — a real static system would crash or re-plan here).
+	allocate := func(id int) error {
+		class := dm.Slow
+		if plan.Placement[id] != planner.SlowAlways {
+			class = dm.Fast
+		}
+		o, err := m.NewObject(model.Tensors[id].Bytes, class)
+		if err == dm.ErrExhausted && class == dm.Fast {
+			res.Policy.FetchFailures++
+			o, err = m.NewObject(model.Tensors[id].Bytes, dm.Slow)
+		}
+		if err != nil {
+			return fmt.Errorf("engine: planned allocation of %s: %w", model.Tensors[id].Name, err)
+		}
+		objs[id] = o
+		return nil
+	}
+	// park moves an offloaded tensor's primary to slow memory (the
+	// planned synchronous eviction copy).
+	park := func(o *dm.Object) error {
+		x := m.GetPrimary(o)
+		if !m.In(x, dm.Fast) {
+			return nil
+		}
+		y, err := m.Allocate(dm.Slow, o.Size())
+		if err != nil {
+			return err
+		}
+		m.CopyTo(y, x)
+		if err := m.SetPrimary(o, y); err != nil {
+			return err
+		}
+		m.Free(x)
+		return nil
+	}
+	// restore brings it back (the planned prefetch copy).
+	restore := func(o *dm.Object) error {
+		x := m.GetPrimary(o)
+		if !m.In(x, dm.Slow) {
+			return nil
+		}
+		y, err := m.Allocate(dm.Fast, o.Size())
+		if err != nil {
+			res.Policy.FetchFailures++
+			return nil // plan defeated by fragmentation; read in place
+		}
+		m.CopyTo(y, x)
+		if err := m.SetPrimary(o, y); err != nil {
+			return err
+		}
+		m.Free(x)
+		return nil
+	}
+
+	for _, id := range sched.Persistent {
+		if err := allocate(id); err != nil {
+			return nil, err
+		}
+	}
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := p.Clock.Now()
+		fastBase, slowBase := p.Fast.Counters(), p.Slow.Counters()
+		var it IterationMetrics
+
+		for ki := range model.Kernels {
+			k := &model.Kernels[ki]
+			moveStart := p.Clock.Now()
+			for _, id := range sched.AllocBefore[ki] {
+				if err := allocate(id); err != nil {
+					return nil, err
+				}
+			}
+			// Planned restores land immediately before the kernel
+			// that reuses the tensor.
+			for _, id := range restoreAt[ki] {
+				if objs[id] != nil && !objs[id].Retired() {
+					if err := restore(objs[id]); err != nil {
+						return nil, err
+					}
+				}
+			}
+			it.MoveTime += p.Clock.Now() - moveStart
+
+			var readBytes, writeBytes [2]int64
+			rf := k.EffectiveReadFactor()
+			for _, id := range k.Reads {
+				f := 1.0
+				if amplified(model.Tensors[id].Kind) {
+					f = rf
+				}
+				readBytes[m.GetPrimary(objs[id]).Class()] += int64(float64(objs[id].Size()) * f)
+			}
+			for _, id := range k.Writes {
+				writeBytes[m.GetPrimary(objs[id]).Class()] += objs[id].Size()
+			}
+			kt := kernelTime(p, k.FLOPs, readBytes, writeBytes)
+			p.Clock.Advance(kt)
+			it.ComputeTime += kt
+
+			moveStart = p.Clock.Now()
+			for _, id := range offloadAt[ki] {
+				if objs[id] != nil && !objs[id].Retired() {
+					if err := park(objs[id]); err != nil {
+						return nil, err
+					}
+				}
+			}
+			for _, id := range sched.RetireAfter[ki] {
+				m.DestroyObject(objs[id])
+				objs[id] = nil
+			}
+			it.MoveTime += p.Clock.Now() - moveStart
+
+			used := m.UsedBytes(dm.Fast) + m.UsedBytes(dm.Slow)
+			if used > res.PeakHeap {
+				res.PeakHeap = used
+			}
+		}
+
+		it.Time = p.Clock.Now() - iterStart
+		it.Fast = p.Fast.Counters().Sub(fastBase)
+		it.Slow = p.Slow.Counters().Sub(slowBase)
+		res.Iterations = append(res.Iterations, it)
+
+		if cfg.CheckInvariants {
+			if err := m.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("engine: planned run after iter %d: %w", iter, err)
+			}
+		}
+		m.Defrag(dm.Fast)
+		m.Defrag(dm.Slow)
+	}
+	res.DM = m.Stats()
+	res.aggregate()
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/policy"
+)
+
+// Ablations isolates the design choices DESIGN.md calls out, all on the
+// large DenseNet under CA:LM (the paper's best mode on its most
+// memory-hungry workload):
+//
+//   - heap allocator: first-fit free list (default) vs best-fit vs buddy;
+//   - archive hints: present vs suppressed (pure LRU victim selection);
+//   - hint reaction: CA:LM vs CA:LMP (prefetch) — repeated here from
+//     Fig. 2 for side-by-side reading.
+func Ablations(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	m := buildModel(models.PaperLargeModels()[0], opts.Scale) // DenseNet 264
+	t := &Table{
+		Title: "ablations — DenseNet 264, CA:LM variants",
+		Header: []string{"variant", "iter (s)", "move (s)", "NVRAM write (GB)",
+			"evictions", "defrags"},
+		Notes: []string{
+			"archive hints buy eviction ordering: without them the LRU picks poorer victims",
+			"the buddy allocator trades internal fragmentation for simpler compaction-free operation",
+		},
+	}
+	type variant struct {
+		name string
+		mode policy.Mode
+		mut  func(*engine.Config)
+	}
+	variants := []variant{
+		{"baseline (first-fit)", policy.CALM, func(*engine.Config) {}},
+		{"best-fit allocator", policy.CALM, func(c *engine.Config) { c.Allocator = "bestfit" }},
+		{"buddy allocator", policy.CALM, func(c *engine.Config) { c.Allocator = "buddy" }},
+		{"no archive hints", policy.CALM, func(c *engine.Config) { c.NoArchiveHints = true }},
+		{"clean-first victims", policy.CALM, func(c *engine.Config) { c.PreferCleanVictims = true }},
+		{"prefetch (CA:LMP)", policy.CALMP, func(*engine.Config) {}},
+		{"async mover", policy.CALM, func(c *engine.Config) { c.AsyncMovement = true }},
+	}
+	for _, v := range variants {
+		cfg := engine.Config{Iterations: opts.Iterations}
+		v.mut(&cfg)
+		r, err := engine.RunCA(m, v.mode, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, secs(r.IterTime), secs(r.MoveTime),
+			gb(r.Slow.WriteBytes),
+			fmt.Sprint(r.Policy.Evictions / int64(len(r.Iterations))),
+			fmt.Sprint(r.Policy.Defrags),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/policy"
+)
+
+// Options tune how experiments run.
+type Options struct {
+	// Iterations per run (paper: 4; the first is warm-up).
+	Iterations int
+	// Parallel bounds concurrent simulation runs (each run is
+	// independent; 0 = serial).
+	Parallel int
+	// Scale divides every model's batch size, shrinking footprints and
+	// host runtime proportionally for quick looks; 0 or 1 = paper scale.
+	Scale int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 4
+	}
+	if o.Parallel == 0 {
+		o.Parallel = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// ModeName identifies a column of Fig. 2/5/6: the two 2LM baselines plus
+// the four CachedArrays operating modes, in the paper's order.
+var ModeNames = []string{"2LM:0", "2LM:M", "CA:0", "CA:L", "CA:LM", "CA:LMP"}
+
+// Cell addresses one (model, mode) run.
+type Cell struct {
+	Model string // paper model name, e.g. "DenseNet 264"
+	Mode  string // one of ModeNames
+}
+
+// Matrix holds the results of the large-network (model x mode) sweep that
+// Figures 2, 5 and 6 are views of.
+type Matrix struct {
+	Models  []string
+	Results map[Cell]*engine.Result
+}
+
+// buildModel constructs a paper model at the option scale.
+func buildModel(pm models.PaperModel, scale int) *models.Model {
+	if scale <= 1 {
+		return pm.Build()
+	}
+	batch := pm.BatchSize / scale
+	if batch < 1 {
+		batch = 1
+	}
+	switch pm.Name {
+	case "DenseNet 264":
+		return models.DenseNet(264, batch)
+	case "ResNet 200":
+		return models.ResNet(200, batch)
+	case "VGG 416":
+		return models.VGG(416, batch)
+	case "VGG 116":
+		return models.VGG(116, batch)
+	default:
+		panic(fmt.Sprintf("experiments: unknown paper model %q", pm.Name))
+	}
+}
+
+// runCell executes one (model, mode) run.
+func runCell(m *models.Model, mode string, cfg engine.Config) (*engine.Result, error) {
+	switch mode {
+	case "2LM:0":
+		return engine.Run2LM(m, false, cfg)
+	case "2LM:M":
+		return engine.Run2LM(m, true, cfg)
+	case "CA:0":
+		return engine.RunCA(m, policy.CAZero, cfg)
+	case "CA:L":
+		return engine.RunCA(m, policy.CAL, cfg)
+	case "CA:LM":
+		return engine.RunCA(m, policy.CALM, cfg)
+	case "CA:LMP":
+		return engine.RunCA(m, policy.CALMP, cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown mode %q", mode)
+	}
+}
+
+// RunMatrix executes every large network under every operating mode. Runs
+// are independent simulations, so they parallelize across goroutines.
+func RunMatrix(opts Options) (*Matrix, error) {
+	opts = opts.withDefaults()
+	cfg := engine.Config{Iterations: opts.Iterations}
+	mat := &Matrix{Results: make(map[Cell]*engine.Result)}
+
+	type job struct {
+		cell  Cell
+		model *models.Model
+	}
+	var jobs []job
+	for _, pm := range models.PaperLargeModels() {
+		mat.Models = append(mat.Models, pm.Name)
+		m := buildModel(pm, opts.Scale)
+		for _, mode := range ModeNames {
+			jobs = append(jobs, job{Cell{pm.Name, mode}, m})
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		sem      = make(chan struct{}, opts.Parallel)
+	)
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := runCell(j.model, j.cell.Mode, cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s %s: %w", j.cell.Model, j.cell.Mode, err)
+				}
+				return
+			}
+			mat.Results[j.cell] = r
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return mat, nil
+}
+
+// Get returns the result for a cell; it panics on a missing cell, which
+// indicates a bug in the sweep itself.
+func (m *Matrix) Get(model, mode string) *engine.Result {
+	r, ok := m.Results[Cell{model, mode}]
+	if !ok {
+		panic(fmt.Sprintf("experiments: missing cell %s/%s", model, mode))
+	}
+	return r
+}

@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): Table III's model footprints, Fig. 2's iteration times,
+// Fig. 3's heap-occupancy curves, Fig. 4's DRAM-cache tag statistics,
+// Fig. 5's traffic breakdown, Fig. 6's bus utilization, Fig. 7's DRAM
+// sensitivity sweep, the §V-d copy-bandwidth characterization, and the §VI
+// DLRM extension. Each generator returns a typed result that renders both
+// as an aligned text table (the form the README and EXPERIMENTS.md quote)
+// and as CSV (for plotting).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is the common render form of every experiment: a header row plus
+// data rows of pre-formatted cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the qualitative claims the table supports, for the
+	// text rendering.
+	Notes []string
+}
+
+// Text renders the table with aligned columns.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// gb formats a byte count as decimal gigabytes with one decimal.
+func gb(n int64) string { return fmt.Sprintf("%.1f", float64(n)/1e9) }
+
+// secs formats seconds with one decimal.
+func secs(s float64) string { return fmt.Sprintf("%.1f", s) }
+
+// pct formats a ratio as a percentage with one decimal.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

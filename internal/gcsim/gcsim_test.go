@@ -1,0 +1,105 @@
+package gcsim
+
+import (
+	"testing"
+
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/units"
+)
+
+func setup(t *testing.T) (*memsim.Platform, *dm.Manager, *Collector) {
+	t.Helper()
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	m := dm.New(p)
+	return p, m, New(m, p.Clock)
+}
+
+func TestCollectEmptyIsFree(t *testing.T) {
+	p, _, c := setup(t)
+	if got := c.Collect(); got != 0 {
+		t.Fatalf("reclaimed %d from empty collector", got)
+	}
+	if p.Clock.Now() != 0 {
+		t.Fatal("empty collection advanced clock")
+	}
+	if c.Stats().Collections != 0 {
+		t.Fatal("empty collection counted")
+	}
+}
+
+func TestMarkDeadDefersFree(t *testing.T) {
+	p, m, c := setup(t)
+	o, err := m.NewObject(1000, dm.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDead(o)
+	if o.Retired() {
+		t.Fatal("MarkDead destroyed the object")
+	}
+	if c.PendingObjects() != 1 || c.PendingBytes() != 1000 {
+		t.Fatalf("pending: %d objects, %d bytes", c.PendingObjects(), c.PendingBytes())
+	}
+	if m.UsedBytes(dm.Fast) == 0 {
+		t.Fatal("dead object's memory already freed")
+	}
+	before := p.Clock.Now()
+	if got := c.Collect(); got != 1000 {
+		t.Fatalf("reclaimed %d, want 1000", got)
+	}
+	if !o.Retired() || m.UsedBytes(dm.Fast) != 0 {
+		t.Fatal("collection did not free the object")
+	}
+	if p.Clock.Now() <= before {
+		t.Fatal("collection pause not charged to clock")
+	}
+	s := c.Stats()
+	if s.Collections != 1 || s.ObjectsFreed != 1 || s.BytesReclaimed != 1000 || s.PauseTime <= 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if c.PendingObjects() != 0 {
+		t.Fatal("dead list not drained")
+	}
+}
+
+func TestCollectSkipsAlreadyRetired(t *testing.T) {
+	_, m, c := setup(t)
+	o, _ := m.NewObject(64, dm.Fast)
+	c.MarkDead(o)
+	m.DestroyObject(o) // someone else destroyed it first
+	if got := c.Collect(); got != 0 {
+		t.Fatalf("reclaimed %d from pre-retired object", got)
+	}
+	if c.Stats().ObjectsFreed != 0 {
+		t.Fatal("counted a pre-retired object")
+	}
+}
+
+func TestOnDestroyHookRuns(t *testing.T) {
+	_, m, c := setup(t)
+	o, _ := m.NewObject(64, dm.Fast)
+	var hooked []*dm.Object
+	c.OnDestroy = func(x *dm.Object) { hooked = append(hooked, x) }
+	c.MarkDead(o)
+	c.Collect()
+	if len(hooked) != 1 || hooked[0] != o {
+		t.Fatalf("hook calls: %v", hooked)
+	}
+}
+
+func TestCollectFreesAllTiers(t *testing.T) {
+	_, m, c := setup(t)
+	o, _ := m.NewObject(256, dm.Fast)
+	s, _ := m.Allocate(dm.Slow, 256)
+	if err := m.Link(m.GetPrimary(o), s); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDead(o)
+	c.Collect()
+	if m.UsedBytes(dm.Fast) != 0 || m.UsedBytes(dm.Slow) != 0 {
+		t.Fatal("collection left regions behind")
+	}
+}

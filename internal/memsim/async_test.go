@@ -1,0 +1,103 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"cachedarrays/internal/units"
+)
+
+func asyncPair() (*Clock, *Device, *Device, *CopyEngine) {
+	clock := &Clock{}
+	fast := NewDevice("dram", DRAM, units.GB, DRAMProfile())
+	slow := NewDevice("nvram", NVRAM, units.GB, NVRAMProfile())
+	e := NewCopyEngine(clock, 8)
+	e.Async = true
+	return clock, fast, slow, e
+}
+
+func TestAsyncCopyDoesNotAdvanceClock(t *testing.T) {
+	clock, fast, slow, e := asyncPair()
+	el := e.Copy(slow, 0, fast, 0, 64*units.MB)
+	if el <= 0 {
+		t.Fatal("copy reported zero duration")
+	}
+	if clock.Now() != 0 {
+		t.Fatalf("async copy advanced the clock to %v", clock.Now())
+	}
+	if got := e.BusyUntil(); math.Abs(got-el) > 1e-12 {
+		t.Fatalf("BusyUntil = %v, want %v", got, el)
+	}
+}
+
+func TestAsyncQueueSerializes(t *testing.T) {
+	_, fast, slow, e := asyncPair()
+	a := e.Copy(slow, 0, fast, 0, 64*units.MB)
+	b := e.Copy(slow, 0, fast, 0, 64*units.MB)
+	if got := e.BusyUntil(); math.Abs(got-(a+b)) > 1e-12 {
+		t.Fatalf("two queued copies: BusyUntil = %v, want %v", got, a+b)
+	}
+}
+
+func TestAsyncIdleMoverStartsAtNow(t *testing.T) {
+	clock, fast, slow, e := asyncPair()
+	e.Copy(slow, 0, fast, 0, 64*units.MB)
+	drain := e.BusyUntil()
+	// Let the application run far past the queue.
+	clock.Advance(drain + 5)
+	if got := e.BusyUntil(); got != clock.Now() {
+		t.Fatalf("idle mover BusyUntil = %v, want now %v", got, clock.Now())
+	}
+	// The next copy starts at now, not at the stale busyUntil.
+	el := e.Copy(slow, 0, fast, 0, 64*units.MB)
+	if got, want := e.BusyUntil(), clock.Now()+el; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("restarted mover BusyUntil = %v, want %v", got, want)
+	}
+}
+
+func TestSyncBusyUntilIsNow(t *testing.T) {
+	clock := &Clock{}
+	e := NewCopyEngine(clock, 4)
+	clock.Advance(1.5)
+	if e.BusyUntil() != 1.5 {
+		t.Fatalf("sync BusyUntil = %v", e.BusyUntil())
+	}
+}
+
+func TestWriteThreadCapRestoresPeakWriteBandwidth(t *testing.T) {
+	clock := &Clock{}
+	fast := NewDevice("dram", DRAM, units.GB, DRAMProfile())
+	slow := NewDevice("nvram", NVRAM, units.GB, NVRAMProfile())
+	uncapped := NewCopyEngine(clock, 28)
+	capped := NewCopyEngine(clock, 28)
+	capped.WriteThreadCap = slow.Profile.WritePeakThreads
+	n := int64(512 * units.MB)
+	tu := uncapped.CopyTime(slow, fast, n)
+	tc := capped.CopyTime(slow, fast, n)
+	if tc >= tu {
+		t.Fatalf("capped copy %v not faster than uncapped %v", tc, tu)
+	}
+	// Capped bandwidth should reach the NVRAM non-temporal peak.
+	if bw := float64(n) / tc; bw < 0.95*slow.Profile.PeakWrite {
+		t.Fatalf("capped bandwidth %.1f GB/s below peak %.1f GB/s", bw/1e9, slow.Profile.PeakWrite/1e9)
+	}
+	// The cap must not affect read-bound directions (NVRAM -> DRAM).
+	if a, b := capped.CopyTime(fast, slow, n), uncapped.CopyTime(fast, slow, n); a != b {
+		t.Fatalf("cap changed read-bound copy: %v vs %v", a, b)
+	}
+}
+
+func TestAsyncBackedCopyStillMovesBytes(t *testing.T) {
+	clock := &Clock{}
+	fast := NewDevice("dram", DRAM, 4096, DRAMProfile())
+	slow := NewDevice("nvram", NVRAM, 4096, NVRAMProfile())
+	fast.AttachBacking(make([]byte, 4096))
+	slow.AttachBacking(make([]byte, 4096))
+	e := NewCopyEngine(clock, 2)
+	e.Async = true
+	copy(fast.Data(0, 5), "async")
+	e.Copy(slow, 100, fast, 0, 5)
+	if string(slow.Data(100, 5)) != "async" {
+		t.Fatal("async copy lost the bytes")
+	}
+}

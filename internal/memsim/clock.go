@@ -1,0 +1,35 @@
+// Package memsim models a heterogeneous memory platform in virtual time.
+//
+// It is the hardware substitution layer for the CachedArrays reproduction:
+// the paper evaluates on a real Cascade Lake machine with DRAM and Optane
+// NVRAM; we model the devices' capacity and bandwidth characteristics and a
+// multi-threaded copy engine, and account traffic the same way the paper's
+// hardware performance counters do. All timing is virtual — the clock only
+// advances when the simulation models compute or data movement — so
+// terabyte-scale experiments run in milliseconds of host time.
+package memsim
+
+import "fmt"
+
+// Clock is a virtual-time clock measured in seconds. The zero value is a
+// clock at time zero, ready to use.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by dt seconds. It panics on negative dt:
+// virtual time is monotone and a negative advance always indicates a bug in
+// the timing model.
+func (c *Clock) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("memsim: negative clock advance %g", dt))
+	}
+	c.now += dt
+}
+
+// Reset rewinds the clock to zero. Experiments reuse one platform across
+// iterations and reset between runs.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,276 @@
+package models
+
+import "fmt"
+
+// act is a reference to an activation tensor plus its NCHW shape (batch is
+// implicit, held by the graph).
+type act struct {
+	id      int
+	c, h, w int
+}
+
+// elems returns the per-batch element count of the activation.
+func (a act) elems(batch int) int64 {
+	return int64(batch) * int64(a.c) * int64(a.h) * int64(a.w)
+}
+
+// fwdOp records one forward operation so the graph can derive its backward
+// kernel mechanically (reverse-mode differentiation over the op list, the
+// same thing Zygote does for the paper's Julia prototype).
+type fwdOp struct {
+	name     string
+	inputs   []act // activation inputs (gradients flow back through these)
+	stopGrad bool  // no gradient for inputs (first op consuming the batch)
+	params   []int // weight tensor IDs (each gets a gradient)
+	out      act
+	flops    float64
+	// bwdFLOPs overrides the default 2x forward FLOPs when set.
+	bwdFLOPs float64
+	// readFactor is the kernel-internal read amplification (see
+	// models.Kernel.ReadFactor); applied to both directions.
+	readFactor float64
+}
+
+// graph accumulates forward ops and then mechanically emits the backward
+// pass.
+type graph struct {
+	model *Model
+	batch int
+	ops   []fwdOp
+}
+
+func newGraph(name string, batch int) *graph {
+	return &graph{model: &Model{Name: name, BatchSize: batch}, batch: batch}
+}
+
+// tensor appends a tensor and returns its ID.
+func (g *graph) tensor(name string, bytes int64, kind TensorKind) int {
+	id := len(g.model.Tensors)
+	g.model.Tensors = append(g.model.Tensors, Tensor{ID: id, Name: name, Bytes: bytes, Kind: kind})
+	return id
+}
+
+// activation appends an activation tensor for shape (c,h,w).
+func (g *graph) activation(name string, c, h, w int, kind TensorKind) act {
+	a := act{c: c, h: h, w: w}
+	a.id = g.tensor(name, a.elems(g.batch)*bytesPerElem, kind)
+	return a
+}
+
+// input declares the training batch.
+func (g *graph) input(c, h, w int) act {
+	return g.activation("input", c, h, w, Input)
+}
+
+// weight appends a weight tensor of the given element count.
+func (g *graph) weight(name string, elems int64) int {
+	return g.tensor(name, elems*bytesPerElem, Weight)
+}
+
+// record adds a forward op: it emits the forward kernel now and remembers
+// enough to emit the backward kernel later.
+func (g *graph) record(op fwdOp) act {
+	reads := make([]int, 0, len(op.inputs)+len(op.params))
+	for _, in := range op.inputs {
+		reads = append(reads, in.id)
+	}
+	reads = append(reads, op.params...)
+	g.model.Kernels = append(g.model.Kernels, Kernel{
+		Name:       op.name,
+		Phase:      Forward,
+		Reads:      reads,
+		Writes:     []int{op.out.id},
+		FLOPs:      op.flops,
+		ReadFactor: op.readFactor,
+	})
+	g.ops = append(g.ops, op)
+	return op.out
+}
+
+// l2PerCore is the effective per-core cache a oneDNN conv can block its
+// input into; inputs larger than this stream from memory once per
+// output-channel block.
+const l2PerCore = 1 << 20
+
+// convReadFactor estimates how many times a convolution streams its input
+// activation from memory.
+func convReadFactor(in act) float64 {
+	perImage := int64(in.c) * int64(in.h) * int64(in.w) * bytesPerElem
+	rf := (perImage + l2PerCore - 1) / l2PerCore
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > 16 {
+		rf = 16
+	}
+	return float64(rf)
+}
+
+// convOut computes a convolution's output spatial size.
+func convOut(in, k, stride, pad int) int { return (in+2*pad-k)/stride + 1 }
+
+// conv adds a fused conv+bias+ReLU layer.
+func (g *graph) conv(name string, in act, cout, k, stride, pad int) act {
+	ho := convOut(in.h, k, stride, pad)
+	wo := convOut(in.w, k, stride, pad)
+	if ho <= 0 || wo <= 0 {
+		panic(fmt.Sprintf("models: %s produces empty output (%dx%d)", name, ho, wo))
+	}
+	w := g.weight(name+".w", int64(k)*int64(k)*int64(in.c)*int64(cout)+int64(cout))
+	out := g.activation(name+".out", cout, ho, wo, Activation)
+	flops := 2 * float64(k) * float64(k) * float64(in.c) * float64(cout) *
+		float64(ho) * float64(wo) * float64(g.batch)
+	return g.record(fwdOp{name: name, inputs: []act{in}, params: []int{w}, out: out,
+		flops: flops, readFactor: convReadFactor(in)})
+}
+
+// pool adds a max/avg pooling layer (no parameters).
+func (g *graph) pool(name string, in act, k, stride int) act {
+	ho := convOut(in.h, k, stride, 0)
+	wo := convOut(in.w, k, stride, 0)
+	out := g.activation(name+".out", in.c, ho, wo, Activation)
+	flops := float64(k) * float64(k) * float64(out.elems(g.batch))
+	return g.record(fwdOp{name: name, inputs: []act{in}, out: out, flops: flops})
+}
+
+// globalPool reduces spatial dims to 1x1.
+func (g *graph) globalPool(name string, in act) act {
+	out := g.activation(name+".out", in.c, 1, 1, Activation)
+	return g.record(fwdOp{name: name, inputs: []act{in}, out: out,
+		flops: float64(in.elems(g.batch))})
+}
+
+// eltwise adds a materialized elementwise layer (a non-fused BatchNorm or
+// ReLU): output has the input's shape and must be retained for backward.
+// DenseNet's pre-activation stages run on the concatenated input, which
+// concat-then-normalize pipelines cannot fuse — these full-width
+// intermediates are a large part of DenseNet's paper-scale footprint.
+func (g *graph) eltwise(name string, in act) act {
+	out := g.activation(name+".out", in.c, in.h, in.w, Activation)
+	return g.record(fwdOp{name: name, inputs: []act{in}, out: out,
+		flops: 4 * float64(out.elems(g.batch))})
+}
+
+// fc adds a fully connected layer over the flattened input.
+func (g *graph) fc(name string, in act, outFeatures int) act {
+	inFeatures := int64(in.c) * int64(in.h) * int64(in.w)
+	w := g.weight(name+".w", inFeatures*int64(outFeatures)+int64(outFeatures))
+	out := g.activation(name+".out", outFeatures, 1, 1, Activation)
+	flops := 2 * float64(inFeatures) * float64(outFeatures) * float64(g.batch)
+	return g.record(fwdOp{name: name, inputs: []act{in}, params: []int{w}, out: out, flops: flops})
+}
+
+// add performs a residual addition (ResNet skip connections).
+func (g *graph) add(name string, a, b act) act {
+	if a.c != b.c || a.h != b.h || a.w != b.w {
+		panic(fmt.Sprintf("models: %s shape mismatch (%d,%d,%d) vs (%d,%d,%d)",
+			name, a.c, a.h, a.w, b.c, b.h, b.w))
+	}
+	out := g.activation(name+".out", a.c, a.h, a.w, Activation)
+	return g.record(fwdOp{name: name, inputs: []act{a, b}, out: out,
+		flops: float64(out.elems(g.batch))})
+}
+
+// concat concatenates along the channel dimension (DenseNet). This is the
+// memory-hungry explicit-copy concat of naive framework implementations,
+// which is what drives DenseNet's paper-scale footprint.
+func (g *graph) concat(name string, ins ...act) act {
+	c := 0
+	for _, in := range ins {
+		if in.h != ins[0].h || in.w != ins[0].w {
+			panic(fmt.Sprintf("models: %s spatial mismatch", name))
+		}
+		c += in.c
+	}
+	out := g.activation(name+".out", c, ins[0].h, ins[0].w, Activation)
+	return g.record(fwdOp{name: name, inputs: ins, out: out,
+		flops: float64(out.elems(g.batch)), bwdFLOPs: float64(out.elems(g.batch))})
+}
+
+// finish appends the loss kernel and the mechanically derived backward
+// pass, then validates the model.
+func (g *graph) finish(final act) *Model {
+	m := g.model
+	// Loss: consumes the final activation, produces its gradient — the
+	// seed of the backward pass.
+	gradOf := map[int]int{}
+	seed := g.tensor("loss.grad", final.elems(g.batch)*bytesPerElem, ActivationGrad)
+	gradOf[final.id] = seed
+	m.Kernels = append(m.Kernels, Kernel{
+		Name:   "loss",
+		Phase:  Backward,
+		Reads:  []int{final.id},
+		Writes: []int{seed},
+		FLOPs:  5 * float64(final.elems(g.batch)),
+	})
+
+	// gradTensor returns (creating on demand) the gradient tensor of an
+	// activation, and whether it already existed (=> accumulate).
+	gradTensor := func(a act) (int, bool) {
+		if id, ok := gradOf[a.id]; ok {
+			return id, true
+		}
+		id := g.tensor(m.Tensors[a.id].Name+".grad", a.elems(g.batch)*bytesPerElem, ActivationGrad)
+		gradOf[a.id] = id
+		return id, false
+	}
+
+	for i := len(g.ops) - 1; i >= 0; i-- {
+		op := g.ops[i]
+		outGrad, ok := gradOf[op.out.id]
+		if !ok {
+			// Dead branch (no consumer) — cannot happen in these
+			// models, but guard anyway.
+			continue
+		}
+		reads := []int{outGrad}
+		// Backward needs the saved forward inputs and the weights.
+		for _, in := range op.inputs {
+			reads = append(reads, in.id)
+		}
+		reads = append(reads, op.params...)
+		var writes []int
+		for _, w := range op.params {
+			wg := g.tensor(m.Tensors[w].Name+".grad", m.Tensors[w].Bytes, WeightGrad)
+			// One gradient per weight: weights are not shared in
+			// these models, so creation here is always fresh.
+			writes = append(writes, wg)
+		}
+		if !op.stopGrad {
+			for _, in := range op.inputs {
+				if m.Tensors[in.id].Kind == Input {
+					continue // no gradient for the batch itself
+				}
+				gid, accumulate := gradTensor(in)
+				if accumulate {
+					reads = append(reads, gid)
+				}
+				writes = append(writes, gid)
+			}
+		}
+		if len(writes) == 0 {
+			// Ops with no params and no differentiable inputs (the
+			// stem consuming the batch): emit a token write so the
+			// kernel is well-formed — real frameworks still launch
+			// it for bias/BN statistics.
+			tok := g.tensor(op.name+".stats", int64(op.out.c)*bytesPerElem, WeightGrad)
+			writes = append(writes, tok)
+		}
+		flops := op.bwdFLOPs
+		if flops == 0 {
+			flops = 2 * op.flops
+		}
+		m.Kernels = append(m.Kernels, Kernel{
+			Name:       op.name + ".bwd",
+			Phase:      Backward,
+			Reads:      reads,
+			Writes:     writes,
+			FLOPs:      flops,
+			ReadFactor: op.readFactor,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("models: built invalid model: %v", err))
+	}
+	return m
+}

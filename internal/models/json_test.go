@@ -1,0 +1,100 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MLP(64, []int{32}, 4, 8)
+	var buf bytes.Buffer
+	if err := orig.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.BatchSize != orig.BatchSize {
+		t.Fatalf("header mismatch: %s/%d", got.Name, got.BatchSize)
+	}
+	if len(got.Tensors) != len(orig.Tensors) || len(got.Kernels) != len(orig.Kernels) {
+		t.Fatalf("shape mismatch: %d/%d tensors, %d/%d kernels",
+			len(got.Tensors), len(orig.Tensors), len(got.Kernels), len(orig.Kernels))
+	}
+	for i := range orig.Tensors {
+		if got.Tensors[i] != orig.Tensors[i] {
+			t.Fatalf("tensor %d: %+v != %+v", i, got.Tensors[i], orig.Tensors[i])
+		}
+	}
+	for i := range orig.Kernels {
+		a, b := got.Kernels[i], orig.Kernels[i]
+		if a.Name != b.Name || a.Phase != b.Phase || a.FLOPs != b.FLOPs ||
+			a.ReadFactor != b.ReadFactor {
+			t.Fatalf("kernel %d mismatch: %+v != %+v", i, a, b)
+		}
+	}
+	if got.PeakFootprint() != orig.PeakFootprint() {
+		t.Fatal("footprint changed across round trip")
+	}
+}
+
+func TestLoadJSONMinimal(t *testing.T) {
+	src := `{
+	  "tensors": [
+	    {"name": "in", "bytes": 1024, "kind": "input"},
+	    {"name": "w", "bytes": 4096, "kind": "weight"},
+	    {"name": "out", "bytes": 1024, "kind": "activation"}
+	  ],
+	  "kernels": [
+	    {"name": "fc", "reads": [0,1], "writes": [2], "flops": 1000}
+	  ]
+	}`
+	m, err := LoadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "workload" || m.BatchSize != 1 {
+		t.Fatalf("defaults not applied: %s/%d", m.Name, m.BatchSize)
+	}
+	if m.Kernels[0].Phase != Forward {
+		t.Fatal("default phase not forward")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown kind":  `{"tensors":[{"name":"x","bytes":8,"kind":"mystery"}],"kernels":[{"name":"k","writes":[0],"flops":1}]}`,
+		"unknown phase": `{"tensors":[{"name":"x","bytes":8,"kind":"weight"}],"kernels":[{"name":"k","phase":"sideways","writes":[0],"flops":1}]}`,
+		"bad reference": `{"tensors":[{"name":"x","bytes":8,"kind":"weight"}],"kernels":[{"name":"k","writes":[7],"flops":1}]}`,
+		"unknown field": `{"wat": 1, "tensors":[], "kernels":[]}`,
+		"zero size":     `{"tensors":[{"name":"x","bytes":0,"kind":"weight"}],"kernels":[{"name":"k","writes":[0],"flops":1}]}`,
+	}
+	for name, src := range cases {
+		if _, err := LoadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestAllKindsSerializable(t *testing.T) {
+	for name, kind := range kindNames {
+		m := &Model{Name: "k", BatchSize: 1,
+			Tensors: []Tensor{{ID: 0, Name: "t", Bytes: 8, Kind: kind}},
+			Kernels: []Kernel{{Name: "k", Writes: []int{0}, FLOPs: 1}},
+		}
+		var buf bytes.Buffer
+		if err := m.SaveJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Tensors[0].Kind != kind {
+			t.Errorf("%s: kind %v became %v", name, kind, got.Tensors[0].Kind)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package models
+
+import "fmt"
+
+// MLP builds a simple multi-layer perceptron training iteration: the
+// quickstart-scale workload used by examples and tests. Hidden layers all
+// have `hidden` units.
+func MLP(inFeatures int, hidden []int, outFeatures, batch int) *Model {
+	g := newGraph(fmt.Sprintf("mlp%d", len(hidden)+1), batch)
+	x := g.input(inFeatures, 1, 1)
+	for i, h := range hidden {
+		x = g.fc(fmt.Sprintf("fc%d", i+1), x, h)
+	}
+	x = g.fc(fmt.Sprintf("fc%d", len(hidden)+1), x, outFeatures)
+	return g.finish(x)
+}

@@ -1,0 +1,269 @@
+// Package models builds training-iteration workload graphs for the CNNs
+// the paper benchmarks (Table III): VGG-416/116, ResNet-200 and
+// DenseNet-264, plus an MLP and a DLRM-style embedding model used by the
+// examples and the §VI extension experiments.
+//
+// A Model is a flat list of tensors and an ordered list of kernels (forward
+// then backward), each kernel declaring its read set, write set and FLOP
+// count. That is exactly the information the paper's kernel programming
+// model exposes (§III-C): kernels read objects, write objects, and the
+// runtime places hints around them.
+package models
+
+import (
+	"fmt"
+	"math"
+)
+
+// TensorKind classifies a tensor's role in training; the trace layer uses
+// it to decide archive/retire placement.
+type TensorKind int
+
+const (
+	// Weight tensors (and biases) persist across iterations.
+	Weight TensorKind = iota
+	// WeightGrad tensors persist until the optimizer step.
+	WeightGrad
+	// Activation tensors are produced on the forward pass and consumed
+	// on the backward pass (the FILO pattern of §III-E).
+	Activation
+	// ActivationGrad tensors are short-lived backward-pass temporaries.
+	ActivationGrad
+	// Input is the training batch (and labels).
+	Input
+)
+
+func (k TensorKind) String() string {
+	switch k {
+	case Weight:
+		return "weight"
+	case WeightGrad:
+		return "weight-grad"
+	case Activation:
+		return "activation"
+	case ActivationGrad:
+		return "activation-grad"
+	case Input:
+		return "input"
+	default:
+		return fmt.Sprintf("TensorKind(%d)", int(k))
+	}
+}
+
+// Tensor is one logical array in the workload.
+type Tensor struct {
+	ID    int
+	Name  string
+	Bytes int64
+	Kind  TensorKind
+}
+
+// Phase marks which half of the iteration a kernel belongs to.
+type Phase int
+
+const (
+	// Forward pass.
+	Forward Phase = iota
+	// Backward pass.
+	Backward
+)
+
+func (p Phase) String() string {
+	if p == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// Kernel is one compute launch: it reads some tensors, writes others, and
+// performs FLOPs of arithmetic.
+type Kernel struct {
+	Name   string
+	Phase  Phase
+	Reads  []int // tensor IDs
+	Writes []int // tensor IDs
+	FLOPs  float64
+	// ReadFactor is the kernel-internal read amplification: how many
+	// times the kernel streams its inputs from memory. Convolutions
+	// whose per-image input exceeds the per-core L2 re-read it once per
+	// output-channel block, which is what makes the paper's VGG kernels
+	// "more sensitive to read bandwidth" (§V) than ResNet/DenseNet's.
+	// Zero means 1.
+	ReadFactor float64
+}
+
+// EffectiveReadFactor returns ReadFactor with the zero-default applied.
+func (k *Kernel) EffectiveReadFactor() float64 {
+	if k.ReadFactor <= 0 {
+		return 1
+	}
+	return k.ReadFactor
+}
+
+// Model is a full training iteration: tensors plus the ordered kernel
+// sequence (forward kernels followed by backward kernels).
+type Model struct {
+	Name      string
+	BatchSize int
+	Tensors   []Tensor
+	Kernels   []Kernel
+}
+
+// bytesPerElem is fp32, as in the paper's oneDNN training runs.
+const bytesPerElem = 4
+
+// Tensor returns the tensor with the given ID.
+func (m *Model) Tensor(id int) *Tensor { return &m.Tensors[id] }
+
+// TotalFLOPs sums the FLOPs of every kernel.
+func (m *Model) TotalFLOPs() float64 {
+	var f float64
+	for i := range m.Kernels {
+		f += m.Kernels[i].FLOPs
+	}
+	return f
+}
+
+// WeightBytes sums the bytes of persistent tensors (weights and their
+// gradients).
+func (m *Model) WeightBytes() int64 {
+	var n int64
+	for i := range m.Tensors {
+		if m.Tensors[i].Kind == Weight || m.Tensors[i].Kind == WeightGrad {
+			n += m.Tensors[i].Bytes
+		}
+	}
+	return n
+}
+
+// TotalTensorBytes sums every tensor's bytes (the no-reuse upper bound).
+func (m *Model) TotalTensorBytes() int64 {
+	var n int64
+	for i := range m.Tensors {
+		n += m.Tensors[i].Bytes
+	}
+	return n
+}
+
+// LastUse returns, for each tensor, the index of the last kernel that reads
+// or writes it (-1 if never used).
+func (m *Model) LastUse() []int {
+	last := make([]int, len(m.Tensors))
+	for i := range last {
+		last[i] = -1
+	}
+	for ki := range m.Kernels {
+		k := &m.Kernels[ki]
+		for _, t := range k.Reads {
+			last[t] = ki
+		}
+		for _, t := range k.Writes {
+			last[t] = ki
+		}
+	}
+	return last
+}
+
+// FirstUse returns, for each tensor, the index of the first kernel that
+// touches it (len(Kernels) if never used). A tensor becomes live at its
+// first write (allocation happens just before).
+func (m *Model) FirstUse() []int {
+	first := make([]int, len(m.Tensors))
+	for i := range first {
+		first[i] = len(m.Kernels)
+	}
+	for ki := len(m.Kernels) - 1; ki >= 0; ki-- {
+		k := &m.Kernels[ki]
+		for _, t := range k.Reads {
+			first[t] = ki
+		}
+		for _, t := range k.Writes {
+			first[t] = ki
+		}
+	}
+	return first
+}
+
+// PeakFootprint computes the peak live bytes over the kernel sequence —
+// the "approximate minimum memory footprint required for a single iteration
+// of training" of Table III. Weights and weight gradients are live
+// throughout; other tensors are live from first to last use.
+func (m *Model) PeakFootprint() int64 {
+	first, last := m.FirstUse(), m.LastUse()
+	// Sweep kernel indices accumulating live bytes.
+	live := m.WeightBytes()
+	var peak int64 = live
+	// Event lists per kernel index.
+	starts := make([][]int, len(m.Kernels)+1)
+	ends := make([][]int, len(m.Kernels)+1)
+	for id := range m.Tensors {
+		k := m.Tensors[id].Kind
+		if k == Weight || k == WeightGrad {
+			continue
+		}
+		if first[id] > last[id] || last[id] < 0 {
+			continue // unused tensor
+		}
+		starts[first[id]] = append(starts[first[id]], id)
+		ends[last[id]] = append(ends[last[id]], id)
+	}
+	for ki := 0; ki < len(m.Kernels); ki++ {
+		for _, id := range starts[ki] {
+			live += m.Tensors[id].Bytes
+		}
+		if live > peak {
+			peak = live
+		}
+		for _, id := range ends[ki] {
+			live -= m.Tensors[id].Bytes
+		}
+	}
+	return peak
+}
+
+// Validate checks structural sanity: kernel tensor references in range,
+// every tensor used, positive sizes, finite FLOPs.
+func (m *Model) Validate() error {
+	if len(m.Tensors) == 0 || len(m.Kernels) == 0 {
+		return fmt.Errorf("models: %s is empty", m.Name)
+	}
+	used := make([]bool, len(m.Tensors))
+	for ki := range m.Kernels {
+		k := &m.Kernels[ki]
+		if k.FLOPs < 0 || math.IsNaN(k.FLOPs) || math.IsInf(k.FLOPs, 0) {
+			return fmt.Errorf("models: kernel %s has bad FLOPs %v", k.Name, k.FLOPs)
+		}
+		if len(k.Writes) == 0 {
+			return fmt.Errorf("models: kernel %s writes nothing", k.Name)
+		}
+		for _, t := range append(append([]int{}, k.Reads...), k.Writes...) {
+			if t < 0 || t >= len(m.Tensors) {
+				return fmt.Errorf("models: kernel %s references tensor %d out of range", k.Name, t)
+			}
+			used[t] = true
+		}
+	}
+	for id, u := range used {
+		if !u {
+			return fmt.Errorf("models: tensor %s (%d) never used", m.Tensors[id].Name, id)
+		}
+	}
+	for id := range m.Tensors {
+		if m.Tensors[id].Bytes <= 0 {
+			return fmt.Errorf("models: tensor %s has size %d", m.Tensors[id].Name, m.Tensors[id].Bytes)
+		}
+		if m.Tensors[id].ID != id {
+			return fmt.Errorf("models: tensor %d has mismatched ID %d", id, m.Tensors[id].ID)
+		}
+	}
+	// Forward kernels must precede backward kernels.
+	seenBackward := false
+	for ki := range m.Kernels {
+		if m.Kernels[ki].Phase == Backward {
+			seenBackward = true
+		} else if seenBackward {
+			return fmt.Errorf("models: forward kernel %s after backward began", m.Kernels[ki].Name)
+		}
+	}
+	return nil
+}

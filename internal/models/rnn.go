@@ -1,0 +1,84 @@
+package models
+
+import "fmt"
+
+// LSTMConfig sizes an unrolled LSTM training iteration — the "RNNs" of the
+// paper's §VI generality claim. Unrolled recurrent training has a
+// different memory signature from CNNs: per-timestep hidden/cell states
+// are produced in a long forward chain and consumed strictly in reverse
+// (backpropagation through time), the deepest FILO pattern of all — the
+// archive/retire hints map onto it directly.
+type LSTMConfig struct {
+	Layers    int
+	Hidden    int
+	InputDim  int
+	SeqLen    int // unrolled timesteps
+	BatchSize int
+}
+
+// DefaultLSTMConfig returns a speech-recognition-flavoured stack.
+func DefaultLSTMConfig() LSTMConfig {
+	return LSTMConfig{Layers: 4, Hidden: 2048, InputDim: 512, SeqLen: 256, BatchSize: 64}
+}
+
+// LSTM builds a training iteration for an unrolled LSTM stack. Each
+// timestep of each layer is one fused kernel (the four gates computed
+// together, as cuDNN/oneDNN do) reading the previous hidden state, the
+// layer input, and the layer's weights, and writing the new hidden and
+// cell state.
+func LSTM(cfg LSTMConfig) *Model {
+	if cfg.Layers <= 0 || cfg.Hidden <= 0 || cfg.InputDim <= 0 ||
+		cfg.SeqLen <= 0 || cfg.BatchSize <= 0 {
+		panic(fmt.Sprintf("models: invalid LSTM config %+v", cfg))
+	}
+	g := newGraph(fmt.Sprintf("lstm%dx%d", cfg.Layers, cfg.Hidden), cfg.BatchSize)
+
+	// Per-layer fused gate weights: (in + hidden) x 4*hidden.
+	weights := make([]int, cfg.Layers)
+	for l := range weights {
+		in := cfg.Hidden
+		if l == 0 {
+			in = cfg.InputDim
+		}
+		weights[l] = g.weight(fmt.Sprintf("l%d.w", l),
+			int64(in+cfg.Hidden)*int64(4*cfg.Hidden)+int64(4*cfg.Hidden))
+	}
+
+	// Timestep inputs for layer 0.
+	inputs := make([]act, cfg.SeqLen)
+	for t := range inputs {
+		inputs[t] = g.activation(fmt.Sprintf("x.t%d", t), cfg.InputDim, 1, 1, Input)
+	}
+
+	// hidden[l] is the rolling hidden state activation of layer l; the
+	// initial states are inputs to the iteration.
+	hidden := make([]act, cfg.Layers)
+	for l := range hidden {
+		hidden[l] = g.activation(fmt.Sprintf("h0.l%d", l), cfg.Hidden, 1, 1, Input)
+	}
+
+	var last act
+	for t := 0; t < cfg.SeqLen; t++ {
+		x := inputs[t]
+		for l := 0; l < cfg.Layers; l++ {
+			name := fmt.Sprintf("l%d.t%d", l, t)
+			in := cfg.Hidden
+			if l == 0 {
+				in = cfg.InputDim
+			}
+			out := g.activation(name+".h", cfg.Hidden, 1, 1, Activation)
+			flops := 2 * float64(in+cfg.Hidden) * float64(4*cfg.Hidden) * float64(cfg.BatchSize)
+			g.record(fwdOp{
+				name:   name,
+				inputs: []act{x, hidden[l]},
+				params: []int{weights[l]},
+				out:    out,
+				flops:  flops,
+			})
+			hidden[l] = out
+			x = out
+		}
+		last = x
+	}
+	return g.finish(last)
+}

@@ -1,0 +1,84 @@
+package models
+
+import (
+	"testing"
+
+	"cachedarrays/internal/units"
+)
+
+func TestLSTMValidates(t *testing.T) {
+	cfg := LSTMConfig{Layers: 2, Hidden: 64, InputDim: 32, SeqLen: 8, BatchSize: 4}
+	m := LSTM(cfg)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// seq*layers forward kernels.
+	fwd := 0
+	for i := range m.Kernels {
+		if m.Kernels[i].Phase == Forward {
+			fwd++
+		}
+	}
+	if fwd != cfg.SeqLen*cfg.Layers {
+		t.Fatalf("forward kernels = %d, want %d", fwd, cfg.SeqLen*cfg.Layers)
+	}
+	// 2 weight tensors, each with one gradient.
+	var w, wg int
+	for i := range m.Tensors {
+		switch m.Tensors[i].Kind {
+		case Weight:
+			w++
+		case WeightGrad:
+			wg++
+		}
+	}
+	if w != cfg.Layers {
+		t.Fatalf("weights = %d", w)
+	}
+	// Weight gradients accumulate across all timesteps, so there are
+	// SeqLen gradient tensors per layer in this unrolled formulation.
+	if wg != cfg.Layers*cfg.SeqLen {
+		t.Fatalf("weight grads = %d, want %d", wg, cfg.Layers*cfg.SeqLen)
+	}
+}
+
+func TestLSTMDeepFILO(t *testing.T) {
+	// BPTT: the first timestep's hidden state must be the last
+	// activation retired.
+	m := LSTM(LSTMConfig{Layers: 1, Hidden: 32, InputDim: 16, SeqLen: 16, BatchSize: 2})
+	last := m.LastUse()
+	firstStepHidden := -1
+	for id := range m.Tensors {
+		if m.Tensors[id].Name == "l0.t0.h" {
+			firstStepHidden = id
+		}
+	}
+	if firstStepHidden == -1 {
+		t.Fatal("first-step hidden not found")
+	}
+	// Its last use should be near the end of the kernel stream.
+	if last[firstStepHidden] < len(m.Kernels)*3/4 {
+		t.Fatalf("t0 hidden last used at kernel %d of %d — not FILO",
+			last[firstStepHidden], len(m.Kernels))
+	}
+}
+
+func TestLSTMFootprintScalesWithSeq(t *testing.T) {
+	a := LSTMConfig{Layers: 2, Hidden: 256, InputDim: 128, SeqLen: 32, BatchSize: 16}
+	b := a
+	b.SeqLen *= 2
+	fa, fb := LSTM(a).PeakFootprint(), LSTM(b).PeakFootprint()
+	if float64(fb) < 1.5*float64(fa) {
+		t.Fatalf("seq doubling grew footprint only %.2fx (%s -> %s)",
+			float64(fb)/float64(fa), units.Bytes(fa), units.Bytes(fb))
+	}
+}
+
+func TestLSTMInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LSTM(LSTMConfig{})
+}

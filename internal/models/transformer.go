@@ -1,0 +1,73 @@
+package models
+
+import "fmt"
+
+// TransformerConfig sizes an encoder-style Transformer. The paper's §VI
+// argues CachedArrays extends beyond CNNs to "applications exhibiting
+// dynamic memory use such as Transformers"; this builder provides the
+// workload — per-layer attention and feed-forward kernels whose
+// intermediates (attention scores in particular) dominate memory and
+// follow the same produce-on-forward/consume-on-backward pattern.
+type TransformerConfig struct {
+	Layers    int
+	DModel    int
+	Heads     int
+	FFMult    int // feed-forward width multiplier (typically 4)
+	SeqLen    int
+	BatchSize int
+}
+
+// DefaultTransformerConfig returns a GPT-2-medium-flavoured encoder.
+func DefaultTransformerConfig() TransformerConfig {
+	return TransformerConfig{Layers: 24, DModel: 1024, Heads: 16, FFMult: 4, SeqLen: 1024, BatchSize: 32}
+}
+
+// Transformer builds a training iteration for an encoder stack.
+func Transformer(cfg TransformerConfig) *Model {
+	if cfg.Layers <= 0 || cfg.DModel <= 0 || cfg.Heads <= 0 ||
+		cfg.SeqLen <= 0 || cfg.BatchSize <= 0 || cfg.FFMult <= 0 {
+		panic(fmt.Sprintf("models: invalid transformer config %+v", cfg))
+	}
+	g := newGraph(fmt.Sprintf("transformer%dx%d", cfg.Layers, cfg.DModel), cfg.BatchSize)
+
+	// Activations are (seq x features) per example: act{c: features,
+	// h: seq, w: 1}.
+	tokens := float64(cfg.BatchSize) * float64(cfg.SeqLen)
+	d := cfg.DModel
+	x := g.input(d, cfg.SeqLen, 1) // embedded input sequence
+
+	// proj emits a dense per-token projection in -> out features.
+	proj := func(name string, in act, outF int) act {
+		w := g.weight(name+".w", int64(in.c)*int64(outF)+int64(outF))
+		out := g.activation(name+".out", outF, in.h, 1, Activation)
+		flops := 2 * float64(in.c) * float64(outF) * tokens
+		return g.record(fwdOp{name: name, inputs: []act{in}, params: []int{w}, out: out, flops: flops})
+	}
+
+	for l := 0; l < cfg.Layers; l++ {
+		name := fmt.Sprintf("l%d", l)
+		// Self-attention: fused QKV projection, score matmul +
+		// softmax, context matmul, output projection, residual.
+		qkv := proj(name+".qkv", x, 3*d)
+		// Attention scores: batch x heads x seq x seq — the memory
+		// hog that makes long-sequence training tier-bound.
+		scores := g.activation(name+".scores",
+			cfg.Heads*cfg.SeqLen, cfg.SeqLen, 1, Activation)
+		scoreFlops := 2 * float64(cfg.SeqLen) * float64(cfg.SeqLen) * float64(d) * float64(cfg.BatchSize)
+		g.record(fwdOp{name: name + ".attn", inputs: []act{qkv}, out: scores,
+			flops: scoreFlops})
+		ctx := g.activation(name+".ctx", d, cfg.SeqLen, 1, Activation)
+		g.record(fwdOp{name: name + ".ctxmm", inputs: []act{scores, qkv}, out: ctx,
+			flops: scoreFlops})
+		attnOut := proj(name+".attnproj", ctx, d)
+		x = g.add(name+".res1", attnOut, x)
+
+		// Feed-forward block with residual.
+		ff1 := proj(name+".ff1", x, cfg.FFMult*d)
+		ff1 = g.eltwise(name+".gelu", ff1)
+		ff2 := proj(name+".ff2", ff1, d)
+		x = g.add(name+".res2", ff2, x)
+	}
+	head := proj("head", x, d)
+	return g.finish(head)
+}

@@ -1,0 +1,71 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/units"
+)
+
+func TestTransformerValidates(t *testing.T) {
+	m := Transformer(DefaultTransformerConfig())
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per layer: qkv, attn, ctxmm, attnproj, res1, ff1, gelu, ff2, res2
+	// = 9 forward kernels, plus input head.
+	wantFwd := 24*9 + 1
+	fwd := 0
+	for i := range m.Kernels {
+		if m.Kernels[i].Phase == Forward {
+			fwd++
+		}
+	}
+	if fwd != wantFwd {
+		t.Fatalf("forward kernels = %d, want %d", fwd, wantFwd)
+	}
+}
+
+func TestTransformerScoresDominate(t *testing.T) {
+	// Attention score tensors (heads x seq x seq) must dominate the
+	// footprint at long sequence lengths — the property that makes
+	// Transformers a tiering workload.
+	cfg := DefaultTransformerConfig()
+	m := Transformer(cfg)
+	var scoreBytes, total int64
+	for i := range m.Tensors {
+		if m.Tensors[i].Kind != Activation {
+			continue
+		}
+		total += m.Tensors[i].Bytes
+		if strings.HasSuffix(m.Tensors[i].Name, ".scores") {
+			scoreBytes += m.Tensors[i].Bytes
+		}
+	}
+	if scoreBytes*3 < total {
+		t.Errorf("scores %s not a dominant fraction of activations %s",
+			units.Bytes(scoreBytes), units.Bytes(total))
+	}
+}
+
+func TestTransformerFootprintScalesWithSeq(t *testing.T) {
+	a := DefaultTransformerConfig()
+	a.Layers, a.BatchSize = 4, 8
+	b := a
+	b.SeqLen *= 2
+	fa := Transformer(a).PeakFootprint()
+	fb := Transformer(b).PeakFootprint()
+	// Scores grow quadratically in sequence length.
+	if float64(fb) < 2.5*float64(fa) {
+		t.Errorf("seq doubling grew footprint only %.2fx", float64(fb)/float64(fa))
+	}
+}
+
+func TestTransformerInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	Transformer(TransformerConfig{Layers: 0})
+}

@@ -1,0 +1,95 @@
+package planner
+
+import (
+	"testing"
+
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/units"
+)
+
+func TestPlanRespectsBudget(t *testing.T) {
+	m := models.ResNet(50, 256)
+	budget := int64(8 * units.GB)
+	p := Build(m, budget, DefaultCostModel())
+	if p.FastBytesPeak > budget {
+		t.Fatalf("planned peak %s exceeds budget %s",
+			units.Bytes(p.FastBytesPeak), units.Bytes(budget))
+	}
+	fast, offload, slow := p.Counts()
+	if fast == 0 {
+		t.Error("nothing planned into fast memory")
+	}
+	if fast+offload+slow != len(m.Tensors) {
+		t.Error("placements do not cover all tensors")
+	}
+}
+
+func TestPlanUsesOffloadUnderPressure(t *testing.T) {
+	// A model whose footprint exceeds the budget should offload the
+	// forward activations across their forward/backward gap.
+	m := models.VGG(116, 320) // ~153 GB
+	p := Build(m, 60*units.GB, DefaultCostModel())
+	_, offload, _ := p.Counts()
+	if offload == 0 {
+		t.Fatal("no offload placements under memory pressure")
+	}
+	for id, pl := range p.Placement {
+		if pl != Offload {
+			continue
+		}
+		if p.OffloadAfter[id] >= p.RestoreBefore[id] {
+			t.Fatalf("tensor %d: offload interval [%d,%d) inverted",
+				id, p.OffloadAfter[id], p.RestoreBefore[id])
+		}
+	}
+}
+
+func TestGenerousBudgetKeepsEverythingFast(t *testing.T) {
+	m := models.MLP(256, []int{128}, 10, 32)
+	p := Build(m, 64*units.GB, DefaultCostModel())
+	_, offload, slow := p.Counts()
+	if offload != 0 {
+		t.Errorf("offloads with an over-generous budget: %d", offload)
+	}
+	// Tiny tensors below the benefit threshold may stay slow; the bulk
+	// must be fast.
+	if slow > len(m.Tensors)/2 {
+		t.Errorf("%d of %d tensors left slow despite ample budget", slow, len(m.Tensors))
+	}
+}
+
+func TestZeroBudgetPlansEverythingSlow(t *testing.T) {
+	m := models.MLP(256, []int{128}, 10, 32)
+	p := Build(m, 0, DefaultCostModel())
+	fast, offload, _ := p.Counts()
+	if fast != 0 || offload != 0 {
+		t.Fatalf("zero budget produced fast=%d offload=%d", fast, offload)
+	}
+	if p.FastBytesPeak != 0 {
+		t.Fatalf("zero budget peak = %d", p.FastBytesPeak)
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	if SlowAlways.String() != "slow" || FastAlways.String() != "fast" || Offload.String() != "offload" {
+		t.Error("placement strings wrong")
+	}
+	if Placement(9).String() == "" {
+		t.Error("unknown placement renders empty")
+	}
+}
+
+func TestTighterBudgetsNeverRaisePeak(t *testing.T) {
+	m := models.ResNet(50, 128)
+	var prev int64 = 1 << 62
+	for _, b := range []int64{32 * units.GB, 16 * units.GB, 4 * units.GB, units.GB} {
+		p := Build(m, b, DefaultCostModel())
+		if p.FastBytesPeak > b {
+			t.Fatalf("budget %s: peak %s over budget", units.Bytes(b), units.Bytes(p.FastBytesPeak))
+		}
+		if p.FastBytesPeak > prev {
+			t.Fatalf("peak grew as budget shrank")
+		}
+		prev = p.FastBytesPeak
+	}
+}

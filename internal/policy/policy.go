@@ -1,0 +1,612 @@
+// Package policy implements the CachedArrays data-movement policy layer
+// (paper §III-D): it receives the application's semantic hints (Table II)
+// and reacts by driving the data manager's API — the evict and prefetch
+// flows of Listings 1 and 2 — plus the optimization matrix of §IV
+// (local allocation L, eager retire M, read prefetching P).
+package policy
+
+import (
+	"container/list"
+	"fmt"
+
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/gcsim"
+)
+
+// Hinter is the policy API the application (or the runtime compiling the
+// application, as with Zygote in the paper) talks to. It is exactly the
+// paper's Table II plus object lifecycle entry points.
+type Hinter interface {
+	// NewObject allocates a fresh object; where its first region lands
+	// is the policy's choice (optimization L).
+	NewObject(size int64) (*dm.Object, error)
+	// WillUse hints that the object is needed soon, direction unknown.
+	WillUse(o *dm.Object)
+	// WillRead hints an upcoming read of the object.
+	WillRead(o *dm.Object)
+	// WillWrite hints an upcoming write of the object.
+	WillWrite(o *dm.Object)
+	// Archive hints the object will not be used for some time.
+	Archive(o *dm.Object)
+	// Retire declares the object dead: it will never be used again.
+	// Only improper use of Retire affects correctness (paper §III-D).
+	Retire(o *dm.Object)
+	// Name identifies the policy configuration (for reports).
+	Name() string
+}
+
+// Mode selects one of the paper's CachedArrays operating modes (§IV).
+type Mode int
+
+const (
+	// CAZero is "CA: Ø": no memory optimizations or prefetching. All
+	// arrays begin in NVRAM and are moved into DRAM before use, like in
+	// a true cache (compulsory misses included).
+	CAZero Mode = iota
+	// CAL is "CA: L": local allocation — arrays can be allocated in
+	// DRAM only — but no eager retire and no read prefetching.
+	CAL
+	// CALM is "CA: LM": local allocation + eager retire (memory
+	// optimizations). The paper's best all-round mode.
+	CALM
+	// CALMP is "CA: LMP": everything plus prefetch on will_read.
+	CALMP
+)
+
+// Modes lists the CachedArrays operating modes in the paper's order.
+var Modes = []Mode{CAZero, CAL, CALM, CALMP}
+
+func (m Mode) String() string {
+	switch m {
+	case CAZero:
+		return "CA:0"
+	case CAL:
+		return "CA:L"
+	case CALM:
+		return "CA:LM"
+	case CALMP:
+		return "CA:LMP"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config expands a Mode into its individual optimization switches so
+// ablations can toggle them independently.
+type Config struct {
+	// LocalAlloc (L): new objects may be allocated directly in fast
+	// memory as unlinked regions. Disabled, every object is born in
+	// slow memory and must be copied up before use, modelling the
+	// compulsory-miss behaviour of a hardware cache.
+	LocalAlloc bool
+	// EagerRetire (M): Retire destroys the object immediately, eliding
+	// any future writeback. Disabled, Retire only marks the object dead
+	// for the garbage collector.
+	EagerRetire bool
+	// FetchOnRead (P): WillRead moves the object into fast memory.
+	// Disabled, reads are served from wherever the primary lives
+	// (NVRAM read bandwidth is comparatively good).
+	FetchOnRead bool
+	// FetchOnWrite: WillWrite moves the object into fast memory. All
+	// paper modes enable this — NVRAM write bandwidth is the scarce
+	// resource.
+	FetchOnWrite bool
+	// PreferCleanVictims refines victim selection beyond the paper's
+	// LRU heuristic: archived objects whose eviction is *free* (a clean
+	// primary with a linked slow copy needs no writeback, Listing 1
+	// lines 11-13) are evicted before those that would cost an NVRAM
+	// write. A cost-aware improvement over the published policy,
+	// evaluated in the ablation table.
+	PreferCleanVictims bool
+	// EvictOnArchive evicts archived objects immediately instead of
+	// merely prioritizing them. The paper's evaluated policy keeps
+	// archive lazy ("no downside to archive if everything fits"); the
+	// eager variant is the natural companion of an asynchronous mover
+	// (§V-c): writebacks queue in the background so fast memory is
+	// already free when the next allocation arrives.
+	EvictOnArchive bool
+}
+
+// ConfigFor returns the switch settings for a paper mode.
+func ConfigFor(m Mode) Config {
+	switch m {
+	case CAZero:
+		return Config{LocalAlloc: false, EagerRetire: false, FetchOnRead: true, FetchOnWrite: true}
+	case CAL:
+		return Config{LocalAlloc: true, EagerRetire: false, FetchOnRead: false, FetchOnWrite: true}
+	case CALM:
+		return Config{LocalAlloc: true, EagerRetire: true, FetchOnRead: false, FetchOnWrite: true}
+	case CALMP:
+		return Config{LocalAlloc: true, EagerRetire: true, FetchOnRead: true, FetchOnWrite: true}
+	default:
+		panic(fmt.Sprintf("policy: unknown mode %d", int(m)))
+	}
+}
+
+// Stats counts policy decisions.
+type Stats struct {
+	Prefetches       int64
+	PrefetchBytes    int64
+	Evictions        int64
+	EvictionBytes    int64
+	ElidedWritebacks int64
+	EagerRetires     int64
+	DeferredRetires  int64
+	FastAllocs       int64
+	SlowAllocs       int64
+	FetchFailures    int64 // could not make room in fast memory
+	GCTriggers       int64
+	Defrags          int64 // on-demand compactions to cure fragmentation
+}
+
+// objState is the policy's per-object bookkeeping, stored in the object's
+// PolicyData slot.
+type objState struct {
+	elem     *list.Element // position in the fast-resident order
+	archived bool
+	pinned   bool
+	dead     bool
+}
+
+func state(o *dm.Object) *objState {
+	s, ok := o.PolicyData.(*objState)
+	if !ok {
+		s = &objState{}
+		o.PolicyData = s
+	}
+	return s
+}
+
+// Tiered is the DRAM/NVRAM policy the paper implements for CNN training:
+// LRU victim selection with archive prioritization, the Listing-1 evict and
+// Listing-2 forced prefetch, and the L/M/P optimization switches.
+type Tiered struct {
+	m   *dm.Manager
+	cfg Config
+	gc  *gcsim.Collector
+
+	// Fast-resident objects live on exactly one of two lists. archived
+	// holds objects the application hinted it will not touch for a
+	// while, in archive order (oldest first — for the FILO reuse
+	// pattern of CNN training, the earliest-archived activation is the
+	// one needed last, so it is the best eviction victim). active holds
+	// the rest in LRU order. Victims are taken archived-front first,
+	// then active-front.
+	archived *list.List
+	active   *list.List
+	stats    Stats
+	name     string
+}
+
+var _ Hinter = (*Tiered)(nil)
+
+// NewTiered creates the policy for a mode. gc may be nil when EagerRetire
+// is set (it is unused then); otherwise it receives the deferred deaths.
+func NewTiered(m *dm.Manager, mode Mode, gc *gcsim.Collector) *Tiered {
+	return NewTieredConfig(m, ConfigFor(mode), mode.String(), gc)
+}
+
+// NewTieredConfig creates the policy from explicit switches (ablations).
+func NewTieredConfig(m *dm.Manager, cfg Config, name string, gc *gcsim.Collector) *Tiered {
+	if !cfg.EagerRetire && gc == nil {
+		panic("policy: deferred retire requires a garbage collector")
+	}
+	p := &Tiered{m: m, cfg: cfg, gc: gc, archived: list.New(), active: list.New(), name: name}
+	if gc != nil {
+		gc.OnDestroy = p.untrackFast
+	}
+	return p
+}
+
+// Name returns the mode name (e.g. "CA:LM").
+func (p *Tiered) Name() string { return p.name }
+
+// Stats returns a snapshot of the policy counters.
+func (p *Tiered) Stats() Stats { return p.stats }
+
+// Manager exposes the underlying data manager (used by the engine for
+// accounting and by custom policies built on top).
+func (p *Tiered) Manager() *dm.Manager { return p.m }
+
+// Config returns the active switch settings.
+func (p *Tiered) Config() Config { return p.cfg }
+
+// ---------------------------------------------------------------------------
+// Allocation.
+
+// NewObject allocates a fresh object. With LocalAlloc the object is born
+// directly in fast memory (evicting to make room if needed); otherwise it
+// is born in slow memory like data behind a hardware cache.
+func (p *Tiered) NewObject(size int64) (*dm.Object, error) {
+	if p.cfg.LocalAlloc {
+		if o, err := p.m.NewObject(size, dm.Fast); err == nil {
+			p.stats.FastAllocs++
+			p.trackFast(o)
+			return o, nil
+		} else if err != dm.ErrExhausted {
+			return nil, err
+		}
+		// Fast tier full: make room, then retry once.
+		if p.makeRoomInFast(size) {
+			if o, err := p.m.NewObject(size, dm.Fast); err == nil {
+				p.stats.FastAllocs++
+				p.trackFast(o)
+				return o, nil
+			}
+		}
+	}
+	o, err := p.m.NewObject(size, dm.Slow)
+	if err == dm.ErrExhausted && p.gc != nil && p.gc.PendingObjects() > 0 {
+		// Memory pressure: trigger a collection and retry (paper §IV:
+		// "explicitly triggering collection when memory pressure is
+		// detected").
+		p.stats.GCTriggers++
+		p.gc.Collect()
+		o, err = p.m.NewObject(size, dm.Slow)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.stats.SlowAllocs++
+	return o, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hints (paper Table II).
+
+// WillUse is the direction-unknown hint; the policy treats it like a read
+// that may also write, i.e. it fetches when either fetch switch is on.
+func (p *Tiered) WillUse(o *dm.Object) {
+	if p.cfg.FetchOnRead || p.cfg.FetchOnWrite {
+		p.Prefetch(o, true)
+	}
+	p.touch(o)
+}
+
+// WillRead reacts to an upcoming read. With FetchOnRead the object is
+// prefetched into fast memory; otherwise NVRAM's decent read bandwidth
+// serves it in place.
+func (p *Tiered) WillRead(o *dm.Object) {
+	if p.cfg.FetchOnRead {
+		p.Prefetch(o, true)
+	}
+	p.touch(o)
+}
+
+// WillWrite reacts to an upcoming write: the object is moved into fast
+// memory if at all possible (NVRAM writes are the scarce resource), and its
+// primary is marked dirty so a later eviction writes the data back.
+func (p *Tiered) WillWrite(o *dm.Object) {
+	if p.cfg.FetchOnWrite {
+		p.Prefetch(o, true)
+	}
+	p.m.MarkDirty(p.m.GetPrimary(o))
+	p.touch(o)
+}
+
+// Archive marks the object as a preferred eviction victim. It is NOT
+// eagerly evicted — if everything fits in fast memory there is no downside
+// to archiving (paper §III-E). Among archived objects, the earliest
+// archived is evicted first: under the forward/backward FILO pattern it is
+// the object whose next use is farthest away.
+func (p *Tiered) Archive(o *dm.Object) {
+	s := state(o)
+	if s.archived {
+		return
+	}
+	s.archived = true
+	if s.elem != nil {
+		p.active.Remove(s.elem)
+		s.elem = p.archived.PushBack(o)
+	}
+	if p.cfg.EvictOnArchive && !s.pinned {
+		// Background-eviction variant: push the data down now. A
+		// failed eviction (slow tier momentarily full) simply leaves
+		// the object prioritized in the archived list.
+		_ = p.Evict(o)
+	}
+}
+
+// Retire declares the object dead. With EagerRetire the object is
+// destroyed now — its fast region is freed without any NVRAM writeback and
+// its slow region without any traffic at all. Otherwise the death is
+// deferred to the garbage collector, keeping the memory (and the writeback
+// obligation) alive.
+func (p *Tiered) Retire(o *dm.Object) {
+	s := state(o)
+	if s.dead {
+		return
+	}
+	s.dead = true
+	if p.cfg.EagerRetire {
+		if p.m.IsDirty(p.m.GetPrimary(o)) {
+			p.stats.ElidedWritebacks++
+		}
+		p.untrackFast(o)
+		p.m.DestroyObject(o)
+		p.stats.EagerRetires++
+		return
+	}
+	p.gc.MarkDead(o)
+	p.stats.DeferredRetires++
+}
+
+// ---------------------------------------------------------------------------
+// The Listing-1 / Listing-2 operations.
+
+// Evict moves an object's primary from fast to slow memory, following the
+// paper's Listing 1: reuse a linked slow region when one exists, copy only
+// when the primary is dirty or the slow region is fresh, then free the
+// fast region.
+func (p *Tiered) Evict(o *dm.Object) error {
+	x := p.m.GetPrimary(o)
+	if !p.m.In(x, dm.Fast) {
+		return nil
+	}
+	if state(o).pinned {
+		return fmt.Errorf("policy: evicting pinned object %d", o.ID())
+	}
+	y := p.m.GetLinked(x, dm.Slow)
+	sz := p.m.SizeOf(x)
+	allocated := false
+	if y == nil {
+		var err error
+		y, err = p.m.Allocate(dm.Slow, sz)
+		if err == dm.ErrExhausted && p.gc != nil && p.gc.PendingObjects() > 0 {
+			p.stats.GCTriggers++
+			p.gc.Collect()
+			// The collection may have destroyed o itself (if o was
+			// dead); guard before retrying.
+			if o.Retired() {
+				return nil
+			}
+			y, err = p.m.Allocate(dm.Slow, sz)
+		}
+		if err != nil {
+			return fmt.Errorf("policy: evict of object %d: %w", o.ID(), err)
+		}
+		allocated = true
+	}
+	if p.m.IsDirty(x) || allocated {
+		p.m.CopyTo(y, x)
+	} else {
+		p.stats.ElidedWritebacks++
+	}
+	if err := p.m.SetPrimary(o, y); err != nil {
+		return err
+	}
+	if !allocated {
+		if err := p.m.Unlink(x, y); err != nil {
+			return err
+		}
+	}
+	p.untrackFast(o)
+	p.m.Free(x)
+	p.stats.Evictions++
+	p.stats.EvictionBytes += sz
+	return nil
+}
+
+// Prefetch moves an object's primary into fast memory, following the
+// paper's Listing 2: allocate in fast, and when that fails and force is
+// set, pick a victim range by the LRU/archive heuristic and evictfrom it.
+// The slow region stays linked as a (clean) secondary. Returns true if the
+// object ended up in fast memory.
+func (p *Tiered) Prefetch(o *dm.Object, force bool) bool {
+	x := p.m.GetPrimary(o)
+	if p.m.In(x, dm.Fast) {
+		return true
+	}
+	sz := p.m.SizeOf(x)
+	y, err := p.m.Allocate(dm.Fast, sz)
+	if err == dm.ErrExhausted {
+		if !force || !p.makeRoomInFast(sz) {
+			p.stats.FetchFailures++
+			return false
+		}
+		y, err = p.m.Allocate(dm.Fast, sz)
+	}
+	if err != nil {
+		p.stats.FetchFailures++
+		return false
+	}
+	p.m.CopyTo(y, x)
+	if err := p.m.Link(x, y); err != nil {
+		panic(fmt.Sprintf("policy: link after prefetch: %v", err))
+	}
+	if err := p.m.SetPrimary(o, y); err != nil {
+		panic(fmt.Sprintf("policy: setprimary after prefetch: %v", err))
+	}
+	p.trackFast(o)
+	p.stats.Prefetches++
+	p.stats.PrefetchBytes += sz
+	return true
+}
+
+// makeRoomInFast frees a contiguous range of at least size bytes in fast
+// memory. Victim ranges are anchored at the fast regions of objects in
+// eviction-priority order (archived first, then LRU — the paper's
+// find_region heuristic); a range is rejected if it overlaps a pinned
+// object (one whose primary must not move during the current kernel).
+func (p *Tiered) makeRoomInFast(size int64) bool {
+	fastAlloc := p.m.AllocatorFor(dm.Fast)
+	if size > fastAlloc.Capacity() {
+		return false
+	}
+	for _, victim := range p.victimOrder() {
+		start := p.m.GetPrimary(victim).Offset()
+		if !p.rangeEvictable(start, size) {
+			continue
+		}
+		err := p.m.EvictFrom(dm.Fast, start, size, func(r *dm.Region) {
+			owner := p.m.Parent(r)
+			if owner == nil {
+				panic("policy: evictfrom hit an unbound fast region")
+			}
+			// An eviction can fail when slow memory is itself full;
+			// EvictFrom then reports the range as still occupied
+			// and we fall through to the caller's fallback path
+			// (slow allocation, which triggers a collection).
+			_ = p.Evict(owner)
+		})
+		if err != nil {
+			return false
+		}
+		return true
+	}
+	// Last resort: if enough free bytes exist but no hole is big enough
+	// and no victim range is evictable, compact the tier — the paper's
+	// "object reallocation mitigates fragmentation" (§III-C).
+	if fastAlloc.FreeBytes() >= size && fastAlloc.LargestFree() < size {
+		p.m.Defrag(dm.Fast)
+		p.stats.Defrags++
+		return fastAlloc.LargestFree() >= size
+	}
+	return false
+}
+
+// rangeEvictable reports whether the clamped range [start, start+size) on
+// the fast tier contains only unpinned, evictable regions.
+func (p *Tiered) rangeEvictable(start, size int64) bool {
+	capacity := p.m.AllocatorFor(dm.Fast).Capacity()
+	if start+size > capacity {
+		start = capacity - size
+	}
+	if start < 0 {
+		start = 0
+	}
+	ok := true
+	p.m.AllocatorFor(dm.Fast).BlocksIn(start, size, func(off, blockSize int64) bool {
+		r := p.m.RegionAt(dm.Fast, off)
+		if r == nil {
+			ok = false
+			return false
+		}
+		owner := p.m.Parent(r)
+		if owner == nil || state(owner).pinned {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Pinning (kernel execution windows).
+
+// Pin prevents the object's primary from moving — the paper's limitation
+// that "an object's primary cannot change during the execution of a kernel"
+// (§III-C). The engine pins all kernel arguments for the kernel's duration.
+func (p *Tiered) Pin(o *dm.Object) { state(o).pinned = true }
+
+// Unpin releases a pinned object.
+func (p *Tiered) Unpin(o *dm.Object) { state(o).pinned = false }
+
+// ---------------------------------------------------------------------------
+// Fast-residency tracking.
+
+// victimOrder returns the fast-resident objects in eviction priority order:
+// archived (oldest archive first), then active (least recently used first).
+// With PreferCleanVictims, free-to-evict archived objects (clean primary
+// with a linked slow copy) come before archived objects whose eviction
+// costs a writeback.
+func (p *Tiered) victimOrder() []*dm.Object {
+	out := make([]*dm.Object, 0, p.archived.Len()+p.active.Len())
+	if p.cfg.PreferCleanVictims {
+		var dirty []*dm.Object
+		for e := p.archived.Front(); e != nil; e = e.Next() {
+			o := e.Value.(*dm.Object)
+			pr := p.m.GetPrimary(o)
+			if !p.m.IsDirty(pr) && p.m.GetLinked(pr, dm.Slow) != nil {
+				out = append(out, o)
+			} else {
+				dirty = append(dirty, o)
+			}
+		}
+		out = append(out, dirty...)
+	} else {
+		for e := p.archived.Front(); e != nil; e = e.Next() {
+			out = append(out, e.Value.(*dm.Object))
+		}
+	}
+	for e := p.active.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*dm.Object))
+	}
+	return out
+}
+
+// trackFast inserts o at the tail of its list (most recently used / most
+// recently archived).
+func (p *Tiered) trackFast(o *dm.Object) {
+	s := state(o)
+	if s.elem != nil {
+		return
+	}
+	if s.archived {
+		s.elem = p.archived.PushBack(o)
+	} else {
+		s.elem = p.active.PushBack(o)
+	}
+}
+
+// untrackFast removes o from whichever list holds it.
+func (p *Tiered) untrackFast(o *dm.Object) {
+	s := state(o)
+	if s.elem == nil {
+		return
+	}
+	if s.archived {
+		p.archived.Remove(s.elem)
+	} else {
+		p.active.Remove(s.elem)
+	}
+	s.elem = nil
+}
+
+// touch refreshes o's recency: a used object is no longer archived and
+// moves to the protected end of the active list.
+func (p *Tiered) touch(o *dm.Object) {
+	s := state(o)
+	if s.elem != nil {
+		if s.archived {
+			p.archived.Remove(s.elem)
+			s.elem = p.active.PushBack(o)
+		} else {
+			p.active.MoveToBack(s.elem)
+		}
+	}
+	s.archived = false
+}
+
+// FastResident returns how many objects currently have their primary in
+// fast memory (tracked by this policy).
+func (p *Tiered) FastResident() int { return p.archived.Len() + p.active.Len() }
+
+// CheckInvariants validates policy-level invariants on top of the data
+// manager's: every tracked object has a fast primary, and — the paper's
+// §III-D invariant — every object with a fast region has it as primary.
+func (p *Tiered) CheckInvariants() error {
+	if err := p.m.CheckInvariants(); err != nil {
+		return err
+	}
+	check := func(l *list.List, wantArchived bool, label string) error {
+		for e := l.Front(); e != nil; e = e.Next() {
+			o := e.Value.(*dm.Object)
+			if o.Retired() {
+				return fmt.Errorf("policy: retired object %d in %s list", o.ID(), label)
+			}
+			if !p.m.In(p.m.GetPrimary(o), dm.Fast) {
+				return fmt.Errorf("policy: tracked object %d primary not in fast", o.ID())
+			}
+			if s := state(o); s.archived != wantArchived || s.elem == nil {
+				return fmt.Errorf("policy: object %d list/state mismatch in %s list", o.ID(), label)
+			}
+		}
+		return nil
+	}
+	if err := check(p.archived, true, "archived"); err != nil {
+		return err
+	}
+	return check(p.active, false, "active")
+}

@@ -1,0 +1,599 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/gcsim"
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/units"
+)
+
+func setup(t *testing.T, mode Mode, fastCap, slowCap int64) (*memsim.Platform, *dm.Manager, *Tiered, *gcsim.Collector) {
+	t.Helper()
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: fastCap, SlowCapacity: slowCap, CopyThreads: 4,
+	})
+	m := dm.New(p)
+	gc := gcsim.New(m, p.Clock)
+	pol := NewTiered(m, mode, gc)
+	return p, m, pol, gc
+}
+
+func checkPol(t *testing.T, p *Tiered) {
+	t.Helper()
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{CAZero: "CA:0", CAL: "CA:L", CALM: "CA:LM", CALMP: "CA:LMP"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if len(Modes) != 4 {
+		t.Errorf("Modes has %d entries", len(Modes))
+	}
+}
+
+func TestConfigForMatchesPaperMatrix(t *testing.T) {
+	cases := []struct {
+		mode Mode
+		want Config
+	}{
+		{CAZero, Config{LocalAlloc: false, EagerRetire: false, FetchOnRead: true, FetchOnWrite: true}},
+		{CAL, Config{LocalAlloc: true, EagerRetire: false, FetchOnRead: false, FetchOnWrite: true}},
+		{CALM, Config{LocalAlloc: true, EagerRetire: true, FetchOnRead: false, FetchOnWrite: true}},
+		{CALMP, Config{LocalAlloc: true, EagerRetire: true, FetchOnRead: true, FetchOnWrite: true}},
+	}
+	for _, c := range cases {
+		if got := ConfigFor(c.mode); got != c.want {
+			t.Errorf("ConfigFor(%v) = %+v, want %+v", c.mode, got, c.want)
+		}
+	}
+}
+
+func TestLocalAllocationStartsInFast(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, err := pol.NewObject(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.In(m.GetPrimary(o), dm.Fast) {
+		t.Fatal("CA:LM object not born in fast memory")
+	}
+	if pol.Stats().FastAllocs != 1 {
+		t.Fatalf("stats: %+v", pol.Stats())
+	}
+	checkPol(t, pol)
+}
+
+func TestCacheModeStartsInSlow(t *testing.T) {
+	_, m, pol, _ := setup(t, CAZero, units.MB, units.MB)
+	o, err := pol.NewObject(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.In(m.GetPrimary(o), dm.Slow) {
+		t.Fatal("CA:0 object not born in slow memory")
+	}
+	// First use moves it up — the compulsory miss.
+	pol.WillWrite(o)
+	if !m.In(m.GetPrimary(o), dm.Fast) {
+		t.Fatal("CA:0 object not moved to fast before use")
+	}
+	if m.Stats().BytesSlowToFast != 1000 {
+		t.Fatalf("compulsory miss traffic = %d", m.Stats().BytesSlowToFast)
+	}
+	checkPol(t, pol)
+}
+
+func TestWillReadNoFetchWithoutP(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := m.NewObject(1000, dm.Slow) // directly on slow
+	pol.WillRead(o)
+	if !m.In(m.GetPrimary(o), dm.Slow) {
+		t.Fatal("CA:LM prefetched on will_read")
+	}
+	if m.Stats().BytesSlowToFast != 0 {
+		t.Fatal("traffic generated without prefetch")
+	}
+}
+
+func TestWillReadFetchesWithP(t *testing.T) {
+	_, m, pol, _ := setup(t, CALMP, units.MB, units.MB)
+	o, _ := m.NewObject(1000, dm.Slow)
+	pol.WillRead(o)
+	if !m.In(m.GetPrimary(o), dm.Fast) {
+		t.Fatal("CA:LMP did not prefetch on will_read")
+	}
+	if pol.Stats().Prefetches != 1 || pol.Stats().PrefetchBytes != 1000 {
+		t.Fatalf("stats: %+v", pol.Stats())
+	}
+	checkPol(t, pol)
+}
+
+func TestWillWriteMarksDirty(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := pol.NewObject(512)
+	if m.IsDirty(m.GetPrimary(o)) {
+		t.Fatal("fresh object already dirty")
+	}
+	pol.WillWrite(o)
+	if !m.IsDirty(m.GetPrimary(o)) {
+		t.Fatal("will_write did not mark primary dirty")
+	}
+}
+
+func TestEagerRetireElidesWriteback(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := pol.NewObject(4096)
+	pol.WillWrite(o) // dirty in fast
+	slowBefore := m.Stats().BytesFastToSlow
+	pol.Retire(o)
+	if !o.Retired() {
+		t.Fatal("eager retire did not destroy the object")
+	}
+	if m.Stats().BytesFastToSlow != slowBefore {
+		t.Fatal("eager retire wrote data back to slow memory")
+	}
+	if pol.Stats().EagerRetires != 1 || pol.Stats().ElidedWritebacks != 1 {
+		t.Fatalf("stats: %+v", pol.Stats())
+	}
+	if m.UsedBytes(dm.Fast) != 0 {
+		t.Fatal("fast memory not freed by eager retire")
+	}
+	checkPol(t, pol)
+}
+
+func TestDeferredRetireKeepsMemoryUntilGC(t *testing.T) {
+	_, m, pol, gc := setup(t, CAL, units.MB, units.MB)
+	o, _ := pol.NewObject(4096)
+	pol.Retire(o)
+	if o.Retired() {
+		t.Fatal("CA:L retire destroyed the object eagerly")
+	}
+	if m.UsedBytes(dm.Fast) == 0 {
+		t.Fatal("memory freed before collection")
+	}
+	if pol.Stats().DeferredRetires != 1 {
+		t.Fatalf("stats: %+v", pol.Stats())
+	}
+	gc.Collect()
+	if !o.Retired() || m.UsedBytes(dm.Fast) != 0 {
+		t.Fatal("collection did not reclaim the object")
+	}
+	checkPol(t, pol)
+}
+
+func TestDoubleRetireIsIdempotent(t *testing.T) {
+	_, _, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := pol.NewObject(64)
+	pol.Retire(o)
+	pol.Retire(o) // must not double-destroy
+	if pol.Stats().EagerRetires != 1 {
+		t.Fatalf("stats: %+v", pol.Stats())
+	}
+}
+
+func TestForcedPrefetchEvictsLRU(t *testing.T) {
+	// Fast tier fits exactly 4 x 16 KiB objects.
+	_, m, pol, _ := setup(t, CALMP, 64*1024, units.MB)
+	var objs []*dm.Object
+	for i := 0; i < 4; i++ {
+		o, err := pol.NewObject(16 * 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	// Touch 1..3 so object 0 is LRU.
+	for _, o := range objs[1:] {
+		pol.WillRead(o)
+	}
+	// A new slow object forced into fast must evict object 0.
+	o4, _ := m.NewObject(16*1024, dm.Slow)
+	if !pol.Prefetch(o4, true) {
+		t.Fatal("forced prefetch failed")
+	}
+	if !m.In(m.GetPrimary(objs[0]), dm.Slow) {
+		t.Fatal("LRU object not evicted")
+	}
+	for _, o := range objs[1:] {
+		if !m.In(m.GetPrimary(o), dm.Fast) {
+			t.Fatal("recently used object evicted instead of LRU")
+		}
+	}
+	if !m.In(m.GetPrimary(o4), dm.Fast) {
+		t.Fatal("prefetched object not in fast")
+	}
+	checkPol(t, pol)
+}
+
+func TestArchivePrioritizesEviction(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, 64*1024, units.MB)
+	var objs []*dm.Object
+	for i := 0; i < 4; i++ {
+		o, _ := pol.NewObject(16 * 1024)
+		objs = append(objs, o)
+		pol.WillUse(o) // make everything recently used
+	}
+	// Archive the most recently used object: it should become the victim.
+	pol.Archive(objs[3])
+	if m.UsedBytes(dm.Fast) != 64*1024 {
+		t.Fatal("archive eagerly evicted (it must not)")
+	}
+	o4, _ := m.NewObject(16*1024, dm.Slow)
+	if !pol.Prefetch(o4, true) {
+		t.Fatal("forced prefetch failed")
+	}
+	if !m.In(m.GetPrimary(objs[3]), dm.Slow) {
+		t.Fatal("archived object not chosen as victim")
+	}
+	checkPol(t, pol)
+}
+
+func TestUseClearsArchive(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, 64*1024, units.MB)
+	var objs []*dm.Object
+	for i := 0; i < 4; i++ {
+		o, _ := pol.NewObject(16 * 1024)
+		objs = append(objs, o)
+	}
+	pol.Archive(objs[3])
+	pol.WillUse(objs[3]) // un-archives and protects
+	o4, _ := m.NewObject(16*1024, dm.Slow)
+	if !pol.Prefetch(o4, true) {
+		t.Fatal("forced prefetch failed")
+	}
+	if !m.In(m.GetPrimary(objs[3]), dm.Fast) {
+		t.Fatal("used object was still treated as archived victim")
+	}
+}
+
+func TestPinnedObjectsAreNotEvicted(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, 64*1024, units.MB)
+	var objs []*dm.Object
+	for i := 0; i < 4; i++ {
+		o, _ := pol.NewObject(16 * 1024)
+		objs = append(objs, o)
+	}
+	for _, o := range objs {
+		pol.Pin(o)
+	}
+	o4, _ := m.NewObject(16*1024, dm.Slow)
+	if pol.Prefetch(o4, true) {
+		t.Fatal("prefetch succeeded despite everything pinned")
+	}
+	if pol.Stats().FetchFailures != 1 {
+		t.Fatalf("stats: %+v", pol.Stats())
+	}
+	pol.Unpin(objs[0])
+	if !pol.Prefetch(o4, true) {
+		t.Fatal("prefetch failed after unpin")
+	}
+	if !m.In(m.GetPrimary(objs[0]), dm.Slow) {
+		t.Fatal("unpinned object not evicted")
+	}
+	checkPol(t, pol)
+}
+
+func TestEvictCleanLinkedElidesCopy(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := m.NewObject(2048, dm.Slow)
+	pol.Prefetch(o, true)
+	copies := m.Stats().Copies
+	if err := pol.Evict(o); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Copies != copies {
+		t.Fatal("evicting a clean linked object copied data")
+	}
+	if pol.Stats().ElidedWritebacks == 0 {
+		t.Fatal("elided writeback not counted")
+	}
+	checkPol(t, pol)
+}
+
+func TestEvictDirtyWritesBack(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := pol.NewObject(2048)
+	pol.WillWrite(o)
+	if err := pol.Evict(o); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().BytesFastToSlow != 2048 {
+		t.Fatalf("writeback bytes = %d", m.Stats().BytesFastToSlow)
+	}
+	if !m.In(m.GetPrimary(o), dm.Slow) {
+		t.Fatal("primary not on slow after evict")
+	}
+	checkPol(t, pol)
+}
+
+func TestEvictSlowResidentIsNoop(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := m.NewObject(64, dm.Slow)
+	if err := pol.Evict(o); err != nil {
+		t.Fatal(err)
+	}
+	if pol.Stats().Evictions != 0 {
+		t.Fatal("no-op evict counted")
+	}
+}
+
+func TestPrefetchAlreadyFastIsNoop(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	o, _ := pol.NewObject(64)
+	if !pol.Prefetch(o, true) {
+		t.Fatal("prefetch of fast-resident object returned false")
+	}
+	if m.Stats().BytesSlowToFast != 0 {
+		t.Fatal("no-op prefetch moved data")
+	}
+}
+
+func TestNewObjectFallsBackToSlowWhenFastFull(t *testing.T) {
+	// Fast tier too small for the object at all.
+	_, m, pol, _ := setup(t, CALM, 4096, units.MB)
+	o, err := pol.NewObject(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.In(m.GetPrimary(o), dm.Slow) {
+		t.Fatal("oversized object not placed on slow")
+	}
+	if pol.Stats().SlowAllocs != 1 {
+		t.Fatalf("stats: %+v", pol.Stats())
+	}
+}
+
+func TestNewObjectEvictsToAllocateLocally(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, 64*1024, units.MB)
+	var objs []*dm.Object
+	for i := 0; i < 4; i++ {
+		o, _ := pol.NewObject(16 * 1024)
+		objs = append(objs, o)
+	}
+	// Fast is full; a new local allocation must evict, not fall to slow.
+	o, err := pol.NewObject(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.In(m.GetPrimary(o), dm.Fast) {
+		t.Fatal("new object not allocated locally after eviction")
+	}
+	evicted := 0
+	for _, old := range objs {
+		if m.In(m.GetPrimary(old), dm.Slow) {
+			evicted++
+		}
+	}
+	if evicted != 1 {
+		t.Fatalf("%d objects evicted, want 1", evicted)
+	}
+	checkPol(t, pol)
+}
+
+func TestGCPressureTriggersCollection(t *testing.T) {
+	// Fast holds exactly one 32 KiB object; slow is too small to absorb
+	// an eviction, so making room requires collecting the dead object.
+	_, m, pol, gc := setup(t, CAL, 32*1024, 16*1024)
+	_ = m
+	_ = gc
+	o1, err := pol.NewObject(32 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.Retire(o1) // deferred — memory still held
+	o2, err := pol.NewObject(32 * 1024)
+	if err != nil {
+		t.Fatalf("allocation under pressure failed: %v", err)
+	}
+	if o2 == nil {
+		t.Fatal("nil object")
+	}
+	if pol.Stats().GCTriggers == 0 {
+		t.Fatal("no collection triggered under memory pressure")
+	}
+	if !o1.Retired() {
+		t.Fatal("dead object survived the pressure collection")
+	}
+	checkPol(t, pol)
+}
+
+func setupNoGC(t *testing.T, fastCap, slowCap int64) (*dm.Manager, *Tiered) {
+	t.Helper()
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: fastCap, SlowCapacity: slowCap, CopyThreads: 4,
+	})
+	m := dm.New(p)
+	return m, NewTiered(m, CALM, nil)
+}
+
+func TestNoGCRequiredForEagerModes(t *testing.T) {
+	m, pol := setupNoGC(t, units.MB, units.MB)
+	o, _ := pol.NewObject(64)
+	pol.Retire(o)
+	if m.LiveObjects() != 0 {
+		t.Fatal("eager mode left objects behind")
+	}
+}
+
+func TestDeferredModeWithoutGCPanics(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB,
+	})
+	m := dm.New(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CA:L without GC did not panic")
+		}
+	}()
+	NewTiered(m, CAL, nil)
+}
+
+func TestEvictOnArchivePushesDataDown(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 4,
+	})
+	m := dm.New(p)
+	cfg := ConfigFor(CALM)
+	cfg.EvictOnArchive = true
+	pol := NewTieredConfig(m, cfg, "eager-archive", nil)
+	o, err := pol.NewObject(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.Archive(o)
+	if m.In(m.GetPrimary(o), dm.Fast) {
+		t.Fatal("EvictOnArchive left the object in fast memory")
+	}
+	// A pinned object must survive an archive even in eager mode.
+	o2, _ := pol.NewObject(4096)
+	pol.Pin(o2)
+	pol.Archive(o2)
+	if !m.In(m.GetPrimary(o2), dm.Fast) {
+		t.Fatal("EvictOnArchive evicted a pinned object")
+	}
+	pol.Unpin(o2)
+	if err := pol.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomHintStormKeepsInvariants(t *testing.T) {
+	for _, mode := range Modes {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			_, m, pol, gc := setup(t, mode, 256*1024, 8*units.MB)
+			rng := rand.New(rand.NewSource(int64(mode) + 99))
+			var live []*dm.Object
+			for i := 0; i < 2000; i++ {
+				switch rng.Intn(12) {
+				case 0, 1, 2:
+					o, err := pol.NewObject(int64(1 + rng.Intn(32*1024)))
+					if err != nil {
+						continue
+					}
+					live = append(live, o)
+				case 3, 4:
+					if len(live) > 0 {
+						pol.WillRead(live[rng.Intn(len(live))])
+					}
+				case 5, 6:
+					if len(live) > 0 {
+						pol.WillWrite(live[rng.Intn(len(live))])
+					}
+				case 7:
+					if len(live) > 0 {
+						pol.WillUse(live[rng.Intn(len(live))])
+					}
+				case 8:
+					if len(live) > 0 {
+						pol.Archive(live[rng.Intn(len(live))])
+					}
+				case 9:
+					if len(live) > 0 {
+						i := rng.Intn(len(live))
+						pol.Retire(live[i])
+						live = append(live[:i], live[i+1:]...)
+					}
+				case 10:
+					if len(live) > 0 {
+						if err := pol.Evict(live[rng.Intn(len(live))]); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case 11:
+					gc.Collect()
+				}
+				if i%200 == 0 {
+					checkPol(t, pol)
+				}
+			}
+			for _, o := range live {
+				pol.Retire(o)
+			}
+			gc.Collect()
+			checkPol(t, pol)
+			if m.LiveObjects() != 0 {
+				t.Fatalf("%d objects leaked", m.LiveObjects())
+			}
+			if m.UsedBytes(dm.Fast) != 0 || m.UsedBytes(dm.Slow) != 0 {
+				t.Fatal("heap bytes leaked")
+			}
+		})
+	}
+}
+
+func TestPreferCleanVictimsOrdering(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: 48 * 1024, SlowCapacity: units.MB, CopyThreads: 4,
+	})
+	m := dm.New(p)
+	cfg := ConfigFor(CALM)
+	cfg.PreferCleanVictims = true
+	pol := NewTieredConfig(m, cfg, "clean-first", nil)
+
+	// dirtyObj: archived first (older), but dirty with no slow copy —
+	// expensive to evict.
+	dirtyObj, _ := pol.NewObject(16 * 1024)
+	pol.WillWrite(dirtyObj)
+	// cleanObj: prefetched from slow (linked + clean) — free to evict.
+	cleanObj, _ := m.NewObject(16*1024, dm.Slow)
+	pol.Prefetch(cleanObj, true)
+	third, _ := pol.NewObject(16 * 1024)
+	_ = third
+	pol.Archive(dirtyObj) // archived first
+	pol.Archive(cleanObj) // archived second
+	copiesBefore := m.Stats().Copies
+
+	// Force an eviction: the clean object must go, despite being the
+	// more recently archived one.
+	o, err := pol.NewObject(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = o
+	if !m.In(m.GetPrimary(dirtyObj), dm.Fast) {
+		t.Fatal("dirty victim evicted before the free one")
+	}
+	if m.In(m.GetPrimary(cleanObj), dm.Fast) {
+		t.Fatal("clean victim not chosen")
+	}
+	if m.Stats().Copies != copiesBefore {
+		t.Fatal("evicting the clean victim copied data")
+	}
+	if err := pol.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyAccessors(t *testing.T) {
+	_, m, pol, _ := setup(t, CALM, units.MB, units.MB)
+	if pol.Name() != "CA:LM" {
+		t.Errorf("Name = %s", pol.Name())
+	}
+	if pol.Manager() != m {
+		t.Error("Manager accessor wrong")
+	}
+	if !pol.Config().LocalAlloc || !pol.Config().EagerRetire {
+		t.Errorf("Config = %+v", pol.Config())
+	}
+	if pol.FastResident() != 0 {
+		t.Error("fresh policy tracks objects")
+	}
+	o, _ := pol.NewObject(64)
+	if pol.FastResident() != 1 {
+		t.Error("FastResident did not count")
+	}
+	pol.Retire(o)
+	if pol.FastResident() != 0 {
+		t.Error("FastResident did not drop on retire")
+	}
+}

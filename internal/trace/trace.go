@@ -1,0 +1,164 @@
+// Package trace turns a workload model into an annotated execution
+// schedule: the ordered kernel stream plus the semantic hints the paper's
+// runtime inserts while compiling the model (§III-E).
+//
+//   - will_read / will_write are implicit: the engine emits them from each
+//     kernel's read and write sets just before launch;
+//   - archive is placed after each forward kernel on the tensors it read
+//     (weights, bias and previous activations — they will not be touched
+//     again until the backward pass);
+//   - retire is placed after a tensor's last use, computed by liveness
+//     analysis over the whole kernel sequence. For linear networks like
+//     VGG this degenerates to the paper's layer-by-layer retirement; for
+//     ResNet/DenseNet the graph liveness provides the "more precise
+//     annotations" the paper obtains from Julia.
+//
+// Persistent tensors (weights, weight gradients, the input batch) are
+// allocated up front and never retired within an iteration, matching the
+// paper's measurement methodology (after each iteration only weights and
+// gradients survive).
+package trace
+
+import (
+	"fmt"
+
+	"cachedarrays/internal/models"
+)
+
+// Schedule is the annotated kernel stream for one training iteration.
+type Schedule struct {
+	Model *models.Model
+	// Persistent lists tensors allocated once before the first iteration
+	// (weights, weight grads, input batch).
+	Persistent []int
+	// AllocBefore[ki] lists transient tensors allocated just before
+	// kernel ki runs (their first use).
+	AllocBefore [][]int
+	// ArchiveAfter[ki] lists tensors to archive after kernel ki.
+	ArchiveAfter [][]int
+	// RetireAfter[ki] lists transient tensors whose last use is kernel
+	// ki: they are retired immediately after it (optimization M).
+	RetireAfter [][]int
+}
+
+// persistent reports whether a tensor survives the whole iteration.
+func persistent(k models.TensorKind) bool {
+	return k == models.Weight || k == models.WeightGrad || k == models.Input
+}
+
+// New builds the schedule for a model.
+func New(m *models.Model) *Schedule {
+	n := len(m.Kernels)
+	s := &Schedule{
+		Model:        m,
+		AllocBefore:  make([][]int, n),
+		ArchiveAfter: make([][]int, n),
+		RetireAfter:  make([][]int, n),
+	}
+	first, last := m.FirstUse(), m.LastUse()
+	for id := range m.Tensors {
+		if persistent(m.Tensors[id].Kind) {
+			s.Persistent = append(s.Persistent, id)
+			continue
+		}
+		if last[id] < 0 {
+			continue // unused
+		}
+		s.AllocBefore[first[id]] = append(s.AllocBefore[first[id]], id)
+		s.RetireAfter[last[id]] = append(s.RetireAfter[last[id]], id)
+	}
+	// Archive the read set of every forward kernel — except tensors that
+	// retire right here (retire wins) and tensors read again by the next
+	// kernel (archiving data that is immediately re-used would only
+	// churn the policy's ordering).
+	for ki := range m.Kernels {
+		k := &m.Kernels[ki]
+		if k.Phase != models.Forward {
+			continue
+		}
+		retiring := map[int]bool{}
+		for _, id := range s.RetireAfter[ki] {
+			retiring[id] = true
+		}
+		nextReads := map[int]bool{}
+		if ki+1 < n {
+			for _, id := range m.Kernels[ki+1].Reads {
+				nextReads[id] = true
+			}
+		}
+		for _, id := range k.Reads {
+			if retiring[id] || nextReads[id] {
+				continue
+			}
+			s.ArchiveAfter[ki] = append(s.ArchiveAfter[ki], id)
+		}
+	}
+	return s
+}
+
+// TransientCount returns the number of non-persistent tensors.
+func (s *Schedule) TransientCount() int {
+	return len(s.Model.Tensors) - len(s.Persistent)
+}
+
+// Validate checks the schedule's core guarantees: every transient tensor is
+// allocated exactly once, retired exactly once, never retired before its
+// last use, and never used before allocation.
+func (s *Schedule) Validate() error {
+	m := s.Model
+	allocAt := make([]int, len(m.Tensors))
+	retireAt := make([]int, len(m.Tensors))
+	for i := range allocAt {
+		allocAt[i] = -1
+		retireAt[i] = -1
+	}
+	for _, id := range s.Persistent {
+		allocAt[id] = -2 // persistent marker
+	}
+	for ki := range s.AllocBefore {
+		for _, id := range s.AllocBefore[ki] {
+			if allocAt[id] != -1 {
+				return fmt.Errorf("trace: tensor %s allocated twice", m.Tensors[id].Name)
+			}
+			allocAt[id] = ki
+		}
+		for _, id := range s.RetireAfter[ki] {
+			if retireAt[id] != -1 {
+				return fmt.Errorf("trace: tensor %s retired twice", m.Tensors[id].Name)
+			}
+			retireAt[id] = ki
+		}
+	}
+	last := m.LastUse()
+	for ki := range m.Kernels {
+		k := &m.Kernels[ki]
+		for _, id := range append(append([]int{}, k.Reads...), k.Writes...) {
+			switch {
+			case allocAt[id] == -2:
+				// persistent, always available
+			case allocAt[id] == -1:
+				return fmt.Errorf("trace: tensor %s used but never allocated", m.Tensors[id].Name)
+			case allocAt[id] > ki:
+				return fmt.Errorf("trace: tensor %s used at kernel %d before allocation at %d",
+					m.Tensors[id].Name, ki, allocAt[id])
+			}
+			if retireAt[id] != -1 && retireAt[id] < ki {
+				return fmt.Errorf("trace: tensor %s used at kernel %d after retirement at %d",
+					m.Tensors[id].Name, ki, retireAt[id])
+			}
+		}
+	}
+	for id := range m.Tensors {
+		if persistent(m.Tensors[id].Kind) || last[id] < 0 {
+			continue
+		}
+		if retireAt[id] == -1 {
+			return fmt.Errorf("trace: transient tensor %s never retired", m.Tensors[id].Name)
+		}
+		if retireAt[id] != last[id] {
+			return fmt.Errorf("trace: tensor %s retired at %d, last use %d",
+				m.Tensors[id].Name, retireAt[id], last[id])
+		}
+	}
+	return nil
+}

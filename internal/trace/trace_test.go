@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cachedarrays/internal/models"
+)
+
+func TestAllPaperSchedulesValidate(t *testing.T) {
+	for _, pm := range append(models.PaperLargeModels(), models.PaperSmallModels()...) {
+		// Build at a tiny batch: the schedule structure is
+		// batch-independent and the builders are cheap enough either
+		// way, but small batches keep test byte counts readable.
+		s := New(pm.Build())
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", pm.Name, err)
+		}
+	}
+}
+
+func TestMLPScheduleShape(t *testing.T) {
+	m := models.MLP(784, []int{256}, 10, 32)
+	s := New(m)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Persistent: input + 2 weights + 2 weight grads.
+	if len(s.Persistent) != 5 {
+		t.Fatalf("persistent = %d, want 5", len(s.Persistent))
+	}
+	// Every transient allocates and retires exactly once overall.
+	allocs, retires := 0, 0
+	for ki := range s.AllocBefore {
+		allocs += len(s.AllocBefore[ki])
+		retires += len(s.RetireAfter[ki])
+	}
+	if allocs != s.TransientCount() || retires != s.TransientCount() {
+		t.Fatalf("allocs=%d retires=%d transients=%d", allocs, retires, s.TransientCount())
+	}
+}
+
+func TestForwardActivationsRetireOnBackwardPass(t *testing.T) {
+	// The FILO property of §III-E: activations produced early in the
+	// forward pass retire late in the backward pass.
+	m := models.VGG(16, 8)
+	s := New(m)
+	nForward := 0
+	for i := range m.Kernels {
+		if m.Kernels[i].Phase == models.Forward {
+			nForward++
+		}
+	}
+	for ki := 0; ki < nForward; ki++ {
+		for _, id := range s.RetireAfter[ki] {
+			if m.Tensors[id].Kind == models.Activation {
+				// A forward activation retiring during the forward
+				// pass would have to be unused by backward — only
+				// the pre-pool conv outputs feed pooling and then
+				// backward, so none should retire before backward
+				// in VGG.
+				t.Errorf("activation %s retired during forward pass", m.Tensors[id].Name)
+			}
+		}
+	}
+}
+
+func TestArchiveFollowsForwardReads(t *testing.T) {
+	m := models.VGG(16, 8)
+	s := New(m)
+	totalArchives := 0
+	for ki := range m.Kernels {
+		if m.Kernels[ki].Phase == models.Backward && len(s.ArchiveAfter[ki]) != 0 {
+			t.Fatalf("archive after backward kernel %s", m.Kernels[ki].Name)
+		}
+		totalArchives += len(s.ArchiveAfter[ki])
+		// Archived tensors must be from this kernel's read set.
+		reads := map[int]bool{}
+		for _, id := range m.Kernels[ki].Reads {
+			reads[id] = true
+		}
+		for _, id := range s.ArchiveAfter[ki] {
+			if !reads[id] {
+				t.Fatalf("kernel %s archives tensor it did not read", m.Kernels[ki].Name)
+			}
+		}
+	}
+	if totalArchives == 0 {
+		t.Fatal("no archive annotations generated")
+	}
+}
+
+func TestArchiveSkipsImmediatelyReusedTensors(t *testing.T) {
+	m := models.VGG(16, 8)
+	s := New(m)
+	for ki := 0; ki+1 < len(m.Kernels); ki++ {
+		next := map[int]bool{}
+		for _, id := range m.Kernels[ki+1].Reads {
+			next[id] = true
+		}
+		for _, id := range s.ArchiveAfter[ki] {
+			if next[id] {
+				t.Fatalf("kernel %d archives tensor %s read by the next kernel",
+					ki, m.Tensors[id].Name)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesPrematureRetire(t *testing.T) {
+	m := models.MLP(16, []int{8}, 2, 4)
+	s := New(m)
+	// Move a retirement one kernel earlier than the last use.
+	for ki := len(s.RetireAfter) - 1; ki > 0; ki-- {
+		if len(s.RetireAfter[ki]) > 0 {
+			id := s.RetireAfter[ki][0]
+			s.RetireAfter[ki] = s.RetireAfter[ki][1:]
+			s.RetireAfter[ki-1] = append(s.RetireAfter[ki-1], id)
+			break
+		}
+	}
+	if s.Validate() == nil {
+		t.Fatal("premature retire not caught")
+	}
+}
+
+func TestValidateCatchesDoubleAlloc(t *testing.T) {
+	m := models.MLP(16, []int{8}, 2, 4)
+	s := New(m)
+	for ki := range s.AllocBefore {
+		if len(s.AllocBefore[ki]) > 0 {
+			s.AllocBefore[ki] = append(s.AllocBefore[ki], s.AllocBefore[ki][0])
+			break
+		}
+	}
+	if s.Validate() == nil {
+		t.Fatal("double alloc not caught")
+	}
+}
+
+func TestQuickSchedulePropertyOnRandomMLPs(t *testing.T) {
+	// Property: any well-formed model yields a valid schedule.
+	f := func(h1, h2 uint8, batch uint8) bool {
+		hidden := []int{int(h1)%64 + 1, int(h2)%64 + 1}
+		m := models.MLP(int(h1)%100+1, hidden, int(h2)%10+1, int(batch)%32+1)
+		return New(m).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransientCountMatchesModel(t *testing.T) {
+	m := models.ResNet(50, 8)
+	s := New(m)
+	persistent := 0
+	for i := range m.Tensors {
+		switch m.Tensors[i].Kind {
+		case models.Weight, models.WeightGrad, models.Input:
+			persistent++
+		}
+	}
+	if s.TransientCount() != len(m.Tensors)-persistent {
+		t.Fatalf("TransientCount = %d, want %d", s.TransientCount(), len(m.Tensors)-persistent)
+	}
+}
+
+func TestScheduleForTransformerAndLSTM(t *testing.T) {
+	tr := models.Transformer(models.TransformerConfig{
+		Layers: 2, DModel: 64, Heads: 4, FFMult: 2, SeqLen: 16, BatchSize: 2,
+	})
+	if err := New(tr).Validate(); err != nil {
+		t.Errorf("transformer schedule: %v", err)
+	}
+	ls := models.LSTM(models.LSTMConfig{Layers: 2, Hidden: 32, InputDim: 16, SeqLen: 8, BatchSize: 2})
+	if err := New(ls).Validate(); err != nil {
+		t.Errorf("lstm schedule: %v", err)
+	}
+}
+
+func TestValidateCatchesUseAfterRetireInjection(t *testing.T) {
+	m := models.VGG(16, 4)
+	s := New(m)
+	// Find a tensor retired mid-stream and inject an extra "use" after
+	// retirement by retiring it earlier than every use.
+	for ki := 0; ki < len(m.Kernels)-1; ki++ {
+		if len(s.RetireAfter[ki]) == 0 {
+			continue
+		}
+		id := s.RetireAfter[ki][0]
+		// Move the retire to the tensor's first kernel; unless first ==
+		// last this creates a use-after-retire.
+		first := m.FirstUse()[id]
+		last := m.LastUse()[id]
+		if first == last {
+			continue
+		}
+		s.RetireAfter[ki] = s.RetireAfter[ki][1:]
+		s.RetireAfter[first] = append(s.RetireAfter[first], id)
+		if s.Validate() == nil {
+			t.Fatal("use-after-retire not caught")
+		}
+		return
+	}
+	t.Skip("no mid-stream retirement found")
+}

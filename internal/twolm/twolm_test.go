@@ -1,0 +1,238 @@
+package twolm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/units"
+)
+
+// newCache builds a small cache: 1 KiB DRAM, 64 B lines -> 16 sets, over
+// 16 KiB of NVRAM.
+func newCache(t *testing.T) (*Cache, *memsim.Platform) {
+	t.Helper()
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: 1024, SlowCapacity: 16 * 1024, CopyThreads: 4,
+	})
+	c, err := New(p.Fast, p.Slow, Config{LineSize: 64, HWLineBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestNewValidation(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{FastCapacity: 1024, SlowCapacity: 4096})
+	if _, err := New(p.Fast, p.Slow, Config{LineSize: 0}); err == nil {
+		t.Error("zero line size accepted")
+	}
+	if _, err := New(p.Fast, p.Slow, Config{LineSize: 2048}); err == nil {
+		t.Error("line size above capacity accepted")
+	}
+	big := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: 180 * units.GB, SlowCapacity: 1300 * units.GB,
+	})
+	if _, err := New(big.Fast, big.Slow, Config{LineSize: 64}); err == nil {
+		t.Error("terabyte-scale 64B tag array accepted")
+	}
+	if _, err := New(big.Fast, big.Slow, DefaultConfig()); err != nil {
+		t.Errorf("default paper-scale config rejected: %v", err)
+	}
+}
+
+func TestColdMissesThenHits(t *testing.T) {
+	c, _ := newCache(t)
+	c.Access(0, 256, false) // 4 lines, all cold
+	s := c.Stats()
+	if s.CleanMisses != 4 || s.Hits != 0 || s.DirtyMisses != 0 {
+		t.Fatalf("cold read stats: %+v", s)
+	}
+	c.Access(0, 256, false) // all resident now
+	s = c.Stats()
+	if s.Hits != 4 || s.CleanMisses != 4 {
+		t.Fatalf("warm read stats: %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestWriteMarksDirtyAndConflictWritesBack(t *testing.T) {
+	c, p := newCache(t)
+	c.Access(0, 64, true) // line 0 -> set 0, dirty
+	nvWritesBefore := p.Slow.Counters().WriteBytes
+	// Line 16 also maps to set 0 (16 sets): conflict evicts dirty line 0.
+	c.Access(16*64, 64, false)
+	s := c.Stats()
+	if s.DirtyMisses != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if p.Slow.Counters().WriteBytes <= nvWritesBefore {
+		t.Fatal("dirty eviction produced no NVRAM writes")
+	}
+	// Clean conflict: line 32 -> set 0 again, but current line is clean.
+	c.Access(32*64, 64, false)
+	if got := c.Stats().DirtyMisses; got != 1 {
+		t.Fatalf("clean conflict counted as dirty: %+v", c.Stats())
+	}
+}
+
+func TestReadHitAfterWrite(t *testing.T) {
+	c, _ := newCache(t)
+	c.Access(0, 64, true)
+	c.Access(0, 64, false)
+	if got := c.Stats().Hits; got != 1 {
+		t.Fatalf("hits = %d", got)
+	}
+}
+
+func TestAddressReuseHitsLikeThePaper(t *testing.T) {
+	// The Fig. 3/4 mechanism: with eager freeing, new tensors reuse
+	// physical addresses whose lines are already cached -> hits instead
+	// of compulsory misses.
+	c, _ := newCache(t)
+	c.Access(0, 1024, true) // "tensor A" fills the whole cache
+	c.ResetStats()
+	c.Access(0, 1024, true) // "tensor B" at the same physical pages
+	s := c.Stats()
+	if s.Hits != 16 || s.Accesses() != 16 {
+		t.Fatalf("address reuse did not hit: %+v", s)
+	}
+	// Fresh addresses instead: all dirty misses.
+	c.ResetStats()
+	c.Access(2048, 1024, true)
+	s = c.Stats()
+	if s.DirtyMisses != 16 {
+		t.Fatalf("fresh addresses should dirty-miss: %+v", s)
+	}
+}
+
+func TestPartialLineAccessTouchesWholeLine(t *testing.T) {
+	c, _ := newCache(t)
+	c.Access(10, 4, false) // within line 0
+	if got := c.Stats().Accesses(); got != 1 {
+		t.Fatalf("accesses = %d", got)
+	}
+	c.Access(60, 8, false) // straddles lines 0 and 1
+	s := c.Stats()
+	if s.Accesses() != 3 || s.Hits != 1 || s.CleanMisses != 2 {
+		t.Fatalf("straddle stats: %+v", s)
+	}
+}
+
+func TestAccessTimingMissSlower(t *testing.T) {
+	c, _ := newCache(t)
+	tMiss := c.Access(0, 1024, false).Total()
+	tHit := c.Access(0, 1024, false).Total()
+	if tHit >= tMiss {
+		t.Fatalf("hit time %v >= miss time %v", tHit, tMiss)
+	}
+	if tHit <= 0 {
+		t.Fatal("hit took no time")
+	}
+}
+
+func TestZeroSizeAccessFree(t *testing.T) {
+	c, _ := newCache(t)
+	if c.Access(0, 0, true).Total() != 0 {
+		t.Fatal("zero access took time")
+	}
+	if c.Stats().Accesses() != 0 {
+		t.Fatal("zero access counted")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	c, _ := newCache(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds access did not panic")
+		}
+	}()
+	c.Access(16*1024-32, 64, false)
+}
+
+func TestFlushInvalidates(t *testing.T) {
+	c, _ := newCache(t)
+	c.Access(0, 1024, true)
+	if c.OccupiedLines() != 16 {
+		t.Fatalf("occupied = %d", c.OccupiedLines())
+	}
+	c.Flush()
+	if c.OccupiedLines() != 0 {
+		t.Fatal("flush left lines valid")
+	}
+	c.ResetStats()
+	c.Access(0, 64, false)
+	if c.Stats().CleanMisses != 1 {
+		t.Fatal("post-flush access did not miss")
+	}
+}
+
+func TestWritebackAll(t *testing.T) {
+	c, p := newCache(t)
+	c.Access(0, 512, true)
+	nvBefore := p.Slow.Counters().WriteBytes
+	elapsed := c.WritebackAll()
+	if elapsed <= 0 {
+		t.Fatal("writeback of dirty cache took no time")
+	}
+	if got := p.Slow.Counters().WriteBytes - nvBefore; got != 512 {
+		t.Fatalf("writeback bytes = %d, want 512", got)
+	}
+	if c.WritebackAll() != 0 {
+		t.Fatal("second writeback not free")
+	}
+}
+
+func TestStatsSubAndRates(t *testing.T) {
+	a := Stats{Hits: 10, CleanMisses: 6, DirtyMisses: 4}
+	b := Stats{Hits: 5, CleanMisses: 1, DirtyMisses: 2}
+	d := a.Sub(b)
+	if d != (Stats{Hits: 5, CleanMisses: 5, DirtyMisses: 2}) {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if a.HitRate() != 0.5 || a.CleanMissRate() != 0.3 || a.DirtyMissRate() != 0.2 {
+		t.Fatalf("rates: %v %v %v", a.HitRate(), a.CleanMissRate(), a.DirtyMissRate())
+	}
+	var z Stats
+	if z.HitRate() != 0 || z.CleanMissRate() != 0 || z.DirtyMissRate() != 0 {
+		t.Fatal("zero stats rates not zero")
+	}
+}
+
+func TestQuickHitsPlusMissesEqualLineCount(t *testing.T) {
+	// Property: for any access stream, hits + misses == total lines
+	// touched, and service time is finite and positive.
+	f := func(ops []struct {
+		Addr  uint16
+		Size  uint8
+		Write bool
+	}) bool {
+		p := memsim.NewPlatform(memsim.PlatformConfig{
+			FastCapacity: 1024, SlowCapacity: 128 * 1024,
+		})
+		c, err := New(p.Fast, p.Slow, Config{LineSize: 64})
+		if err != nil {
+			return false
+		}
+		var wantLines int64
+		for _, op := range ops {
+			addr, size := int64(op.Addr), int64(op.Size)
+			if size == 0 {
+				continue
+			}
+			first := addr / 64
+			last := (addr + size - 1) / 64
+			wantLines += last - first + 1
+			if tm := c.Access(addr, size, op.Write).Total(); tm <= 0 {
+				return false
+			}
+		}
+		return c.Stats().Accesses() == wantLines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
