@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"cachedarrays/internal/experiments"
 	"cachedarrays/internal/models"
+	"cachedarrays/internal/profiling"
 )
 
 func main() {
@@ -26,10 +28,16 @@ func main() {
 		only     = flag.String("only", "", "comma list of: table3,fig2,fig3,fig4,fig5,fig6,fig7,fig7async,baselines,beyond,ablations,cxl,copybw,dlrm (default all)")
 		iters    = flag.Int("iters", 4, "training iterations per run")
 		scale    = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
-		parallel = flag.Int("parallel", 4, "concurrent simulation runs")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs (default: all CPUs)")
 		outdir   = flag.String("outdir", "", "write CSV files here instead of printing text")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprof, *memprof)
+	fatal(err)
+	defer func() { fatal(stopProf()) }()
 
 	want := map[string]bool{}
 	if *only == "" {

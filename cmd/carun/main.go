@@ -20,6 +20,7 @@ import (
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/pagemig"
 	"cachedarrays/internal/policy"
+	"cachedarrays/internal/profiling"
 	"cachedarrays/internal/units"
 )
 
@@ -84,8 +85,14 @@ func main() {
 		workload  = flag.String("workload", "", "load the workload from a JSON trace file instead of -model")
 		dump      = flag.String("dumpworkload", "", "write the built workload as JSON to this file and exit")
 		events    = flag.Int("events", 0, "print the last N data-manager events (CA modes)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprof, *memprof)
+	fatal(err)
+	defer func() { fatal(stopProf()) }()
 
 	var model *models.Model
 	if *workload != "" {

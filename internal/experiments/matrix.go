@@ -101,16 +101,19 @@ func RunMatrix(opts Options) (*Matrix, error) {
 	cfg := engine.Config{Iterations: opts.Iterations}
 	mat := &Matrix{Results: make(map[Cell]*engine.Result)}
 
+	// Each job builds its own model: the graph builders are cheap and
+	// deterministic, and a private model per run removes any chance of a
+	// data race between the six concurrent runCell goroutines that would
+	// otherwise share one *models.Model.
 	type job struct {
-		cell  Cell
-		model *models.Model
+		cell Cell
+		pm   models.PaperModel
 	}
 	var jobs []job
 	for _, pm := range models.PaperLargeModels() {
 		mat.Models = append(mat.Models, pm.Name)
-		m := buildModel(pm, opts.Scale)
 		for _, mode := range ModeNames {
-			jobs = append(jobs, job{Cell{pm.Name, mode}, m})
+			jobs = append(jobs, job{Cell{pm.Name, mode}, pm})
 		}
 	}
 
@@ -126,7 +129,7 @@ func RunMatrix(opts Options) (*Matrix, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := runCell(j.model, j.cell.Mode, cfg)
+			r, err := runCell(buildModel(j.pm, opts.Scale), j.cell.Mode, cfg)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

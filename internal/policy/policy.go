@@ -143,6 +143,7 @@ type Stats struct {
 // PolicyData slot.
 type objState struct {
 	elem     *list.Element // position in the fast-resident order
+	bytes    int64         // fast heap block size while tracked (allocator-aligned)
 	archived bool
 	pinned   bool
 	dead     bool
@@ -174,8 +175,18 @@ type Tiered struct {
 	// then active-front.
 	archived *list.List
 	active   *list.List
-	stats    Stats
-	name     string
+
+	// Incremental fast-residency accounting, maintained by
+	// trackFast/untrackFast/Pin/Unpin so makeRoomInFast can reject
+	// impossible requests in O(1) instead of walking both lists and
+	// probing victim ranges. fastBytes is the total allocator-block
+	// bytes of tracked objects; pinnedBytes the tracked bytes whose
+	// owners are currently pinned.
+	fastBytes   int64
+	pinnedBytes int64
+
+	stats Stats
+	name  string
 }
 
 var _ Hinter = (*Tiered)(nil)
@@ -428,15 +439,25 @@ func (p *Tiered) Prefetch(o *dm.Object, force bool) bool {
 // eviction-priority order (archived first, then LRU — the paper's
 // find_region heuristic); a range is rejected if it overlaps a pinned
 // object (one whose primary must not move during the current kernel).
+//
+// The incremental byte accounting rejects impossible requests up front:
+// every candidate range is size bytes of free space, evictable tracked
+// bytes and immovable bytes (pinned or untracked), so when free plus
+// unpinned tracked bytes cannot cover size, no range can be evictable and
+// the defrag fallback (which needs size free bytes) cannot fire either —
+// the walk below would only rediscover that at O(objects) cost.
 func (p *Tiered) makeRoomInFast(size int64) bool {
 	fastAlloc := p.m.AllocatorFor(dm.Fast)
 	if size > fastAlloc.Capacity() {
 		return false
 	}
-	for _, victim := range p.victimOrder() {
+	if fastAlloc.FreeBytes()+p.fastBytes-p.pinnedBytes < size {
+		return false
+	}
+	tryVictim := func(victim *dm.Object) (done, ok bool) {
 		start := p.m.GetPrimary(victim).Offset()
 		if !p.rangeEvictable(start, size) {
-			continue
+			return false, false
 		}
 		err := p.m.EvictFrom(dm.Fast, start, size, func(r *dm.Region) {
 			owner := p.m.Parent(r)
@@ -449,10 +470,41 @@ func (p *Tiered) makeRoomInFast(size int64) bool {
 			// (slow allocation, which triggers a collection).
 			_ = p.Evict(owner)
 		})
-		if err != nil {
-			return false
+		return true, err == nil
+	}
+	// Candidates stream straight off the residency lists in eviction
+	// priority order — archived (clean-first when configured), then
+	// active LRU — without materializing a victimOrder slice. Only the
+	// final candidate mutates the lists (inside EvictFrom), and the walk
+	// returns right after, so iterating live lists is safe.
+	if p.cfg.PreferCleanVictims {
+		for e := p.archived.Front(); e != nil; e = e.Next() {
+			o := e.Value.(*dm.Object)
+			if pr := p.m.GetPrimary(o); !p.m.IsDirty(pr) && p.m.GetLinked(pr, dm.Slow) != nil {
+				if done, ok := tryVictim(o); done {
+					return ok
+				}
+			}
 		}
-		return true
+		for e := p.archived.Front(); e != nil; e = e.Next() {
+			o := e.Value.(*dm.Object)
+			if pr := p.m.GetPrimary(o); p.m.IsDirty(pr) || p.m.GetLinked(pr, dm.Slow) == nil {
+				if done, ok := tryVictim(o); done {
+					return ok
+				}
+			}
+		}
+	} else {
+		for e := p.archived.Front(); e != nil; e = e.Next() {
+			if done, ok := tryVictim(e.Value.(*dm.Object)); done {
+				return ok
+			}
+		}
+	}
+	for e := p.active.Front(); e != nil; e = e.Next() {
+		if done, ok := tryVictim(e.Value.(*dm.Object)); done {
+			return ok
+		}
 	}
 	// Last resort: if enough free bytes exist but no hole is big enough
 	// and no victim range is evictable, compact the tier — the paper's
@@ -498,46 +550,37 @@ func (p *Tiered) rangeEvictable(start, size int64) bool {
 // Pin prevents the object's primary from moving — the paper's limitation
 // that "an object's primary cannot change during the execution of a kernel"
 // (§III-C). The engine pins all kernel arguments for the kernel's duration.
-func (p *Tiered) Pin(o *dm.Object) { state(o).pinned = true }
+// Pinning is idempotent (a kernel reading and writing the same object pins
+// it twice).
+func (p *Tiered) Pin(o *dm.Object) {
+	s := state(o)
+	if s.pinned {
+		return
+	}
+	s.pinned = true
+	if s.elem != nil {
+		p.pinnedBytes += s.bytes
+	}
+}
 
 // Unpin releases a pinned object.
-func (p *Tiered) Unpin(o *dm.Object) { state(o).pinned = false }
+func (p *Tiered) Unpin(o *dm.Object) {
+	s := state(o)
+	if !s.pinned {
+		return
+	}
+	s.pinned = false
+	if s.elem != nil {
+		p.pinnedBytes -= s.bytes
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Fast-residency tracking.
 
-// victimOrder returns the fast-resident objects in eviction priority order:
-// archived (oldest archive first), then active (least recently used first).
-// With PreferCleanVictims, free-to-evict archived objects (clean primary
-// with a linked slow copy) come before archived objects whose eviction
-// costs a writeback.
-func (p *Tiered) victimOrder() []*dm.Object {
-	out := make([]*dm.Object, 0, p.archived.Len()+p.active.Len())
-	if p.cfg.PreferCleanVictims {
-		var dirty []*dm.Object
-		for e := p.archived.Front(); e != nil; e = e.Next() {
-			o := e.Value.(*dm.Object)
-			pr := p.m.GetPrimary(o)
-			if !p.m.IsDirty(pr) && p.m.GetLinked(pr, dm.Slow) != nil {
-				out = append(out, o)
-			} else {
-				dirty = append(dirty, o)
-			}
-		}
-		out = append(out, dirty...)
-	} else {
-		for e := p.archived.Front(); e != nil; e = e.Next() {
-			out = append(out, e.Value.(*dm.Object))
-		}
-	}
-	for e := p.active.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(*dm.Object))
-	}
-	return out
-}
-
 // trackFast inserts o at the tail of its list (most recently used / most
-// recently archived).
+// recently archived) and charges its fast heap block to the incremental
+// byte accounting.
 func (p *Tiered) trackFast(o *dm.Object) {
 	s := state(o)
 	if s.elem != nil {
@@ -548,9 +591,16 @@ func (p *Tiered) trackFast(o *dm.Object) {
 	} else {
 		s.elem = p.active.PushBack(o)
 	}
+	pr := p.m.GetPrimary(o)
+	s.bytes = p.m.AllocatorFor(dm.Fast).SizeOf(pr.Offset())
+	p.fastBytes += s.bytes
+	if s.pinned {
+		p.pinnedBytes += s.bytes
+	}
 }
 
-// untrackFast removes o from whichever list holds it.
+// untrackFast removes o from whichever list holds it and releases its
+// bytes from the accounting.
 func (p *Tiered) untrackFast(o *dm.Object) {
 	s := state(o)
 	if s.elem == nil {
@@ -562,6 +612,11 @@ func (p *Tiered) untrackFast(o *dm.Object) {
 		p.active.Remove(s.elem)
 	}
 	s.elem = nil
+	p.fastBytes -= s.bytes
+	if s.pinned {
+		p.pinnedBytes -= s.bytes
+	}
+	s.bytes = 0
 }
 
 // touch refreshes o's recency: a used object is no longer archived and
@@ -583,24 +638,47 @@ func (p *Tiered) touch(o *dm.Object) {
 // fast memory (tracked by this policy).
 func (p *Tiered) FastResident() int { return p.archived.Len() + p.active.Len() }
 
+// FastResidentBytes returns the allocator-block bytes held by tracked
+// fast-resident objects, maintained incrementally.
+func (p *Tiered) FastResidentBytes() int64 { return p.fastBytes }
+
+// EvictableFastBytes returns the tracked fast bytes not currently pinned —
+// the most makeRoomInFast could free by evicting every willing victim.
+func (p *Tiered) EvictableFastBytes() int64 { return p.fastBytes - p.pinnedBytes }
+
 // CheckInvariants validates policy-level invariants on top of the data
-// manager's: every tracked object has a fast primary, and — the paper's
-// §III-D invariant — every object with a fast region has it as primary.
+// manager's: every tracked object has a fast primary; the paper's §III-D
+// invariant — every object with a fast region has it as primary — in both
+// directions (every allocated fast block belongs to a tracked object's
+// primary), which the O(1) reject in makeRoomInFast relies on; and the
+// incremental byte accounting matches a fresh walk of the lists.
 func (p *Tiered) CheckInvariants() error {
 	if err := p.m.CheckInvariants(); err != nil {
 		return err
 	}
+	fastAlloc := p.m.AllocatorFor(dm.Fast)
+	var sumBytes, sumPinned int64
 	check := func(l *list.List, wantArchived bool, label string) error {
 		for e := l.Front(); e != nil; e = e.Next() {
 			o := e.Value.(*dm.Object)
 			if o.Retired() {
 				return fmt.Errorf("policy: retired object %d in %s list", o.ID(), label)
 			}
-			if !p.m.In(p.m.GetPrimary(o), dm.Fast) {
+			pr := p.m.GetPrimary(o)
+			if !p.m.In(pr, dm.Fast) {
 				return fmt.Errorf("policy: tracked object %d primary not in fast", o.ID())
 			}
-			if s := state(o); s.archived != wantArchived || s.elem == nil {
+			s := state(o)
+			if s.archived != wantArchived || s.elem == nil {
 				return fmt.Errorf("policy: object %d list/state mismatch in %s list", o.ID(), label)
+			}
+			if want := fastAlloc.SizeOf(pr.Offset()); s.bytes != want {
+				return fmt.Errorf("policy: object %d tracked bytes %d != block size %d",
+					o.ID(), s.bytes, want)
+			}
+			sumBytes += s.bytes
+			if s.pinned {
+				sumPinned += s.bytes
 			}
 		}
 		return nil
@@ -608,5 +686,34 @@ func (p *Tiered) CheckInvariants() error {
 	if err := check(p.archived, true, "archived"); err != nil {
 		return err
 	}
-	return check(p.active, false, "active")
+	if err := check(p.active, false, "active"); err != nil {
+		return err
+	}
+	if sumBytes != p.fastBytes || sumPinned != p.pinnedBytes {
+		return fmt.Errorf("policy: byte accounting (fast %d, pinned %d) != walked (%d, %d)",
+			p.fastBytes, p.pinnedBytes, sumBytes, sumPinned)
+	}
+	var blockErr error
+	fastAlloc.Blocks(func(off, size int64) bool {
+		r := p.m.RegionAt(dm.Fast, off)
+		if r == nil {
+			blockErr = fmt.Errorf("policy: fast block at %d has no region", off)
+			return false
+		}
+		o := p.m.Parent(r)
+		if o == nil {
+			blockErr = fmt.Errorf("policy: fast region at %d is unbound", off)
+			return false
+		}
+		if p.m.GetPrimary(o) != r {
+			blockErr = fmt.Errorf("policy: fast region at %d is not its object's primary", off)
+			return false
+		}
+		if state(o).elem == nil {
+			blockErr = fmt.Errorf("policy: fast-primary object %d untracked", o.ID())
+			return false
+		}
+		return true
+	})
+	return blockErr
 }

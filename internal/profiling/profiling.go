@@ -1,0 +1,53 @@
+// Package profiling wires runtime/pprof into the command-line tools. Both
+// carun and cafigures expose -cpuprofile/-memprofile flags through it, so
+// hot-path investigations (the kind that motivated the indexed allocator
+// and batched 2LM tag walk) are one flag away:
+//
+//	go run ./cmd/cafigures -only fig2 -scale 8 -cpuprofile cpu.pprof
+//	go tool pprof -top cpu.pprof
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges for a
+// heap profile at memPath (if non-empty). The returned stop function must
+// run exactly once, after the workload finishes: it flushes the CPU
+// profile and writes the heap snapshot.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -100,6 +100,10 @@ type Cache struct {
 	tags    []int64 // line index resident in each set; -1 = invalid
 	dirty   []bool
 	stats   Stats
+	// Incremental tag-array accounting, kept in lockstep with tags/dirty
+	// so occupancy and writeback queries never rescan the array.
+	occupied int64 // sets holding a valid line
+	dirtyCnt int64 // sets holding a dirty line
 }
 
 // New builds a cache whose data array is the fast device and whose backing
@@ -122,17 +126,23 @@ func New(fast, slow *memsim.Device, cfg Config) (*Cache, error) {
 	}
 	c := &Cache{cfg: cfg, fast: fast, slow: slow, numSets: numSets,
 		tags: make([]int64, numSets), dirty: make([]bool, numSets)}
-	c.Flush()
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
 	return c, nil
 }
 
 // Flush invalidates every line without writing anything back (used between
 // runs; real hardware cannot do this, which is part of the point).
 func (c *Cache) Flush() {
+	if c.occupied == 0 && c.dirtyCnt == 0 {
+		return // nothing valid: the tag array is already all-invalid
+	}
 	for i := range c.tags {
 		c.tags[i] = -1
 		c.dirty[i] = false
 	}
+	c.occupied, c.dirtyCnt = 0, 0
 }
 
 // ResetStats zeroes the tag statistics.
@@ -144,16 +154,12 @@ func (c *Cache) Stats() Stats { return c.stats }
 // LineSize returns the tag-tracking granularity.
 func (c *Cache) LineSize() int64 { return c.cfg.LineSize }
 
-// OccupiedLines returns how many sets hold a valid line.
-func (c *Cache) OccupiedLines() int64 {
-	var n int64
-	for _, t := range c.tags {
-		if t >= 0 {
-			n++
-		}
-	}
-	return n
-}
+// OccupiedLines returns how many sets hold a valid line. The count is
+// maintained incrementally by Access, so this is O(1).
+func (c *Cache) OccupiedLines() int64 { return c.occupied }
+
+// DirtyLines returns how many sets hold a dirty line, also O(1).
+func (c *Cache) DirtyLines() int64 { return c.dirtyCnt }
 
 // Cost breaks an access's service time into overlappable components.
 type Cost struct {
@@ -191,7 +197,122 @@ func (c *Cost) Add(o Cost) {
 // read or a write, updating tag state and device traffic counters, and
 // returns the modelled service-time components. The caller (the engine)
 // decides how to overlap them with compute.
+//
+// The line range is processed as contiguous wrap-free runs over the set
+// array instead of line by line: a run shares one base set, so the
+// per-line modulo disappears and the classification loop is a tight
+// array walk. A transfer longer than twice the cache folds its middle
+// laps into closed-form miss counts (every middle line evicts the line
+// this same access installed one lap earlier), so host cost is bounded
+// by O(min(lines, 2·sets)) per access. Statistics, tag state and traffic
+// are bit-identical to the per-line loop (see AccessReference).
 func (c *Cache) Access(addr, size int64, write bool) Cost {
+	if size <= 0 {
+		return Cost{}
+	}
+	if addr < 0 || addr+size > c.slow.Capacity {
+		panic(fmt.Sprintf("twolm: access [%d,%d) outside backing memory (%d)",
+			addr, addr+size, c.slow.Capacity))
+	}
+	first := addr / c.cfg.LineSize
+	last := (addr + size - 1) / c.cfg.LineSize
+	n := last - first + 1
+	set0 := first % c.numSets
+	var hits, cleanMisses, dirtyMisses int64
+	if n >= 2*c.numSets {
+		// The access laps the whole cache at least twice. Only the
+		// first lap sees pre-access state; every middle-lap line
+		// misses on the line installed one lap earlier (same parity:
+		// dirty iff this access writes), and the final lap leaves
+		// the closing tag state. Count the middle arithmetically.
+		h, cm, dm := c.runLines(first, set0, c.numSets, write)
+		hits, cleanMisses, dirtyMisses = h, cm, dm
+		middle := n - 2*c.numSets
+		if write {
+			dirtyMisses += middle
+		} else {
+			cleanMisses += middle
+		}
+		h, cm, dm = c.runLines(first+c.numSets+middle, (set0+middle)%c.numSets, c.numSets, write)
+		hits += h
+		cleanMisses += cm
+		dirtyMisses += dm
+	} else {
+		hits, cleanMisses, dirtyMisses = c.runLines(first, set0, n, write)
+	}
+	c.stats.Hits += hits
+	c.stats.CleanMisses += cleanMisses
+	c.stats.DirtyMisses += dirtyMisses
+
+	return c.accessCost(size, cleanMisses, dirtyMisses, write)
+}
+
+// runLines streams count consecutive lines starting at startLine (mapping
+// to startSet) through the tag array, splitting at set-array wrap points
+// so the inner loops index sets directly. Occupancy and dirty counters
+// are maintained incrementally. Returns the hit/clean-miss/dirty-miss
+// tallies.
+func (c *Cache) runLines(startLine, startSet, count int64, write bool) (hits, cleanMisses, dirtyMisses int64) {
+	tags, dirty := c.tags, c.dirty
+	line, set := startLine, startSet
+	for count > 0 {
+		run := c.numSets - set
+		if run > count {
+			run = count
+		}
+		if write {
+			for end := set + run; set < end; set, line = set+1, line+1 {
+				if tags[set] == line {
+					hits++
+					if !dirty[set] {
+						dirty[set] = true
+						c.dirtyCnt++
+					}
+					continue
+				}
+				if tags[set] < 0 {
+					cleanMisses++
+					c.occupied++
+					c.dirtyCnt++
+				} else if dirty[set] {
+					dirtyMisses++
+				} else {
+					cleanMisses++
+					c.dirtyCnt++
+				}
+				tags[set] = line
+				dirty[set] = true
+			}
+		} else {
+			for end := set + run; set < end; set, line = set+1, line+1 {
+				if tags[set] == line {
+					hits++
+					continue
+				}
+				if tags[set] < 0 {
+					cleanMisses++
+					c.occupied++
+				} else if dirty[set] {
+					dirtyMisses++
+					dirty[set] = false
+					c.dirtyCnt--
+				} else {
+					cleanMisses++
+				}
+				tags[set] = line
+			}
+		}
+		count -= run
+		set = 0
+	}
+	return hits, cleanMisses, dirtyMisses
+}
+
+// AccessReference is the seed per-line implementation of Access, kept as
+// the equivalence baseline: property tests and the hot-path benchmarks
+// verify and measure the batched Access against it. Tag state, statistics
+// and modelled costs are bit-identical between the two.
+func (c *Cache) AccessReference(addr, size int64, write bool) Cost {
 	if size <= 0 {
 		return Cost{}
 	}
@@ -207,22 +328,35 @@ func (c *Cache) Access(addr, size int64, write bool) Cost {
 		if c.tags[set] == line {
 			hits++
 		} else {
+			if c.tags[set] < 0 {
+				c.occupied++
+			}
 			if c.tags[set] >= 0 && c.dirty[set] {
 				dirtyMisses++
 			} else {
 				cleanMisses++
 			}
+			if c.dirty[set] {
+				c.dirtyCnt--
+			}
 			c.tags[set] = line
 			c.dirty[set] = false
 		}
-		if write {
+		if write && !c.dirty[set] {
 			c.dirty[set] = true
+			c.dirtyCnt++
 		}
 	}
 	c.stats.Hits += hits
 	c.stats.CleanMisses += cleanMisses
 	c.stats.DirtyMisses += dirtyMisses
 
+	return c.accessCost(size, cleanMisses, dirtyMisses, write)
+}
+
+// accessCost charges the modelled timing and traffic for an access of the
+// given size and miss tallies.
+func (c *Cache) accessCost(size, cleanMisses, dirtyMisses int64, write bool) Cost {
 	// Timing and traffic. All application bytes are served by the DRAM
 	// data array; misses add NVRAM fills (plus DRAM fill writes), dirty
 	// misses add writebacks (DRAM victim reads plus NVRAM writes).
@@ -259,18 +393,22 @@ func (c *Cache) Access(addr, size int64, write bool) Cost {
 }
 
 // WritebackAll flushes every dirty line to NVRAM and returns the modelled
-// time; used to account end-of-run consistency if needed.
+// time; used to account end-of-run consistency if needed. The dirty count
+// is already known incrementally, so a clean cache returns immediately
+// and a dirty one stops scanning once the last dirty line is cleared.
 func (c *Cache) WritebackAll() float64 {
-	var lines int64
-	for set, t := range c.tags {
-		if t >= 0 && c.dirty[set] {
-			lines++
-			c.dirty[set] = false
-		}
-	}
-	if lines == 0 {
+	if c.dirtyCnt == 0 {
 		return 0
 	}
+	lines := c.dirtyCnt
+	remaining := lines
+	for set := 0; remaining > 0; set++ {
+		if c.dirty[set] {
+			c.dirty[set] = false
+			remaining--
+		}
+	}
+	c.dirtyCnt = 0
 	nvAcc := memsim.Access{Threads: 28, Granularity: c.cfg.HWLineBytes}
 	appAcc := memsim.Access{Threads: 28, Granularity: c.cfg.LineSize}
 	t := c.fast.Read(lines*c.cfg.LineSize, appAcc)
