@@ -21,6 +21,7 @@ import (
 	"cachedarrays/internal/pagemig"
 	"cachedarrays/internal/policy"
 	"cachedarrays/internal/profiling"
+	"cachedarrays/internal/tracing"
 	"cachedarrays/internal/units"
 )
 
@@ -85,6 +86,7 @@ func main() {
 		workload  = flag.String("workload", "", "load the workload from a JSON trace file instead of -model")
 		dump      = flag.String("dumpworkload", "", "write the built workload as JSON to this file and exit")
 		events    = flag.Int("events", 0, "print the last N data-manager events (CA modes)")
+		tracePath = flag.String("trace", "", "write the execution trace to this file (CA modes; .jsonl for the raw event log, anything else for Chrome/Perfetto trace-event JSON)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -120,6 +122,7 @@ func main() {
 		HintLookahead: *lookahead,
 		Allocator:     *allocator,
 		TraceEvents:   *events,
+		Trace:         *tracePath != "",
 	}
 	if *dram != "" {
 		n, err := units.ParseBytes(*dram)
@@ -143,6 +146,10 @@ func main() {
 
 	r, err := run(model, *mode, cfg)
 	fatal(err)
+
+	if *tracePath != "" {
+		fatal(writeTrace(*tracePath, r))
+	}
 
 	fmt.Printf("mode        : %s\n", r.Mode)
 	fmt.Printf("iteration   : %s (compute+kernels %s, movement stalls %s, gc %s)\n",
@@ -181,6 +188,36 @@ func main() {
 				units.Bytes(it.Slow.ReadBytes), units.Bytes(it.Slow.WriteBytes))
 		}
 	}
+}
+
+// writeTrace exports the run's execution trace, verifying first that it is
+// an exact decomposition of the run's aggregates. The extension picks the
+// format: .jsonl gets the raw event log (catrace's input), anything else
+// the Chrome trace-event JSON for chrome://tracing / ui.perfetto.dev.
+func writeTrace(path string, r *engine.Result) error {
+	if len(r.Trace) == 0 {
+		return fmt.Errorf("-trace: mode produced no trace (tracing covers the CA engines)")
+	}
+	if err := tracing.Verify(r.Trace); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tracing.WriteJSONL(f, r.Trace)
+	} else {
+		err = tracing.WriteChrome(f, r.Trace)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace       : %d events -> %s (consistency verified)\n", len(r.Trace), path)
+	return nil
 }
 
 func fatal(err error) {

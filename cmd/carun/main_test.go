@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"cachedarrays/internal/engine"
+	"cachedarrays/internal/tracing"
 	"cachedarrays/internal/units"
 )
 
@@ -44,5 +48,64 @@ func TestRunModeDispatch(t *testing.T) {
 	}
 	if _, err := run(m, "NUMA", cfg); err == nil {
 		t.Error("unknown mode accepted")
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	m, err := buildModel("mlp", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.Config{Iterations: 2, Trace: true,
+		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
+	r, err := run(m, "CA:LMP", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	jsonlPath := filepath.Join(dir, "trace.jsonl")
+	if err := writeTrace(jsonlPath, r); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := tracing.ReadJSONL(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracing.Verify(events); err != nil {
+		t.Fatalf("written jsonl fails verification: %v", err)
+	}
+
+	chromePath := filepath.Join(dir, "trace.json")
+	if err := writeTrace(chromePath, r); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+
+	// Modes outside the CA engines produce no trace; the flag must fail
+	// loudly instead of writing an empty file.
+	r2, err := run(m, "2LM:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTrace(filepath.Join(dir, "none.json"), r2); err == nil {
+		t.Fatal("writeTrace succeeded on a traceless result")
 	}
 }

@@ -1,0 +1,228 @@
+// Command catrace summarizes an execution trace recorded with
+// carun -trace <file>.jsonl: it re-verifies the trace against the run's
+// embedded aggregates, attributes movement stalls to their sites, and
+// reconstructs per-object movement histories.
+//
+// Examples:
+//
+//	carun -model vgg416 -batch 256 -mode CA:LMP -trace run.jsonl
+//	catrace run.jsonl
+//	catrace -top 20 -objects 5 -v run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cachedarrays/internal/tracing"
+	"cachedarrays/internal/units"
+)
+
+func main() {
+	var (
+		top     = flag.Int("top", 10, "rows in the stall-attribution table")
+		objects = flag.Int("objects", 10, "objects in the movement-history listing")
+		verbose = flag.Bool("v", false, "print every movement event of the listed objects")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: catrace [-top N] [-objects N] [-v] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	fatal(err)
+	events, err := tracing.ReadJSONL(f)
+	f.Close()
+	fatal(err)
+	if len(events) == 0 {
+		fatal(fmt.Errorf("%s: empty trace", flag.Arg(0)))
+	}
+
+	t := tracing.FindTotals(events)
+	if t == nil {
+		fatal(fmt.Errorf("%s: no totals record — is this a carun -trace .jsonl file?", flag.Arg(0)))
+	}
+	if err := tracing.Verify(events); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace       : %d events, %d iterations, devices %s+%s (consistency verified)\n",
+		len(events), len(t.MoveTimeByIter), t.FastDevice, t.SlowDevice)
+
+	s := tracing.Summarize(events)
+	fmt.Printf("movement    : %d copies — %s %s, %s %s, %s within fast, %s within slow; %d defrag moves\n",
+		s.Copies,
+		units.Bytes(s.BytesFastToSlow), "fast->slow",
+		units.Bytes(s.BytesSlowToFast), "slow->fast",
+		units.Bytes(s.BytesWithinFast), units.Bytes(s.BytesWithinSlow), s.DefragMoves)
+	fmt.Printf("traffic     : %s read %s, write %s; %s read %s, write %s\n",
+		t.FastDevice, units.Bytes(t.FastReadBytes), units.Bytes(t.FastWriteBytes),
+		t.SlowDevice, units.Bytes(t.SlowReadBytes), units.Bytes(t.SlowWriteBytes))
+	fmt.Printf("stalls      : %s total", units.Seconds(s.StallSeconds))
+	for i, m := range t.MoveTimeByIter {
+		fmt.Printf("  iter%d=%s", i, units.Seconds(m))
+	}
+	fmt.Println()
+
+	names := tensorNames(events)
+	printStallTable(events, names, s.StallSeconds, *top)
+	printObjectHistories(events, names, *objects, *verbose)
+}
+
+// tensorNames maps object IDs to tensor names via the bind events.
+func tensorNames(events []tracing.Event) map[uint64]string {
+	names := map[uint64]string{}
+	for _, e := range events {
+		if e.Kind == tracing.KindBind {
+			names[e.Obj] = e.Op
+		}
+	}
+	return names
+}
+
+// stallKey identifies one stall site: where the application thread blocked,
+// and on what.
+type stallKey struct {
+	op     string // hint / wait / drain
+	kernel string // kernel about to run ("" at end of iteration)
+	tensor string // blocking tensor (async waits only)
+}
+
+// printStallTable aggregates stalls by site and prints the top-n table —
+// the "where did my iteration time go" view.
+func printStallTable(events []tracing.Event, names map[uint64]string, total float64, n int) {
+	type row struct {
+		key     stallKey
+		seconds float64
+		count   int64
+	}
+	byKey := map[stallKey]*row{}
+	for _, e := range events {
+		if e.Kind != tracing.KindStall || e.Dur <= 0 {
+			continue
+		}
+		k := stallKey{op: e.Op, kernel: e.KName}
+		if e.Op == "wait" {
+			k.tensor = names[e.Obj]
+		}
+		r := byKey[k]
+		if r == nil {
+			r = &row{key: k}
+			byKey[k] = r
+		}
+		r.seconds += e.Dur
+		r.count++
+	}
+	rows := make([]*row, 0, len(byKey))
+	for _, r := range byKey {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seconds > rows[j].seconds })
+	if len(rows) == 0 {
+		fmt.Println("\nno movement stalls recorded")
+		return
+	}
+	fmt.Printf("\ntop stall sites (of %d):\n", len(rows))
+	fmt.Printf("  %-6s %-24s %-24s %8s %12s %7s\n", "site", "kernel", "tensor", "count", "seconds", "share")
+	shown := rows
+	if len(shown) > n {
+		shown = shown[:n]
+	}
+	for _, r := range shown {
+		kernel, tensor := r.key.kernel, r.key.tensor
+		if kernel == "" {
+			kernel = "(end of iteration)"
+		}
+		if tensor == "" {
+			tensor = "-"
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * r.seconds / total
+		}
+		fmt.Printf("  %-6s %-24s %-24s %8d %12s %6.1f%%\n",
+			r.key.op, clip(kernel, 24), clip(tensor, 24), r.count,
+			units.Seconds(r.seconds), share)
+	}
+}
+
+// printObjectHistories lists the n objects with the most moved bytes and
+// reconstructs each one's movement history from its copy events.
+func printObjectHistories(events []tracing.Event, names map[uint64]string, n int, verbose bool) {
+	type hist struct {
+		obj    uint64
+		bytes  int64
+		copies []tracing.Event
+	}
+	byObj := map[uint64]*hist{}
+	for _, e := range events {
+		if e.Kind != tracing.KindCopy || e.Obj == 0 {
+			continue
+		}
+		h := byObj[e.Obj]
+		if h == nil {
+			h = &hist{obj: e.Obj}
+			byObj[e.Obj] = h
+		}
+		h.bytes += e.Bytes
+		h.copies = append(h.copies, e)
+	}
+	hists := make([]*hist, 0, len(byObj))
+	for _, h := range byObj {
+		hists = append(hists, h)
+	}
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].bytes != hists[j].bytes {
+			return hists[i].bytes > hists[j].bytes
+		}
+		return hists[i].obj < hists[j].obj
+	})
+	if len(hists) == 0 {
+		fmt.Println("\nno object movement recorded")
+		return
+	}
+	fmt.Printf("\nmost-moved objects (of %d):\n", len(hists))
+	if len(hists) > n {
+		hists = hists[:n]
+	}
+	for _, h := range hists {
+		name := names[h.obj]
+		if name == "" {
+			name = "?"
+		}
+		fmt.Printf("  obj %-5d %-28s %10s moved in %d copies\n",
+			h.obj, clip(name, 28), units.Bytes(h.bytes), len(h.copies))
+		if !verbose {
+			continue
+		}
+		for _, e := range h.copies {
+			site := e.KName
+			if site == "" {
+				site = "(between kernels)"
+			}
+			cause := e.Cause
+			if cause == "" {
+				cause = "-"
+			}
+			fmt.Printf("    iter %d  t=%-12s %5s->%-5s %10s  cause=%-10s at %s\n",
+				e.Iter, units.Seconds(e.T0), e.From, e.To, units.Bytes(e.Bytes), cause, site)
+		}
+	}
+}
+
+// clip shortens s to at most n runes.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "catrace:", err)
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"cachedarrays/internal/alloc"
 	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/tracing"
 )
 
 // Class names the two tiers of the heterogeneous memory system.
@@ -125,6 +126,7 @@ type Manager struct {
 	nextID   uint64
 	stats    Stats
 	events   *EventLog
+	tracer   *tracing.Recorder
 }
 
 // New creates a manager over the platform's two devices using free-list
@@ -184,6 +186,13 @@ func (m *Manager) LiveObjects() int { return len(m.objects) }
 // returns ErrExhausted when the tier is full — the policy reacts by
 // evicting and retrying (paper Listing 2).
 func (m *Manager) Allocate(c Class, size int64) (*Region, error) {
+	return m.allocate(c, size, 0)
+}
+
+// allocate is Allocate with the owning object's ID for event attribution:
+// NewObject passes the ID its object will get, so the allocation event can
+// be tied to the object even though binding happens a moment later.
+func (m *Manager) allocate(c Class, size int64, owner uint64) (*Region, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("dm: invalid region size %d", size)
 	}
@@ -193,7 +202,8 @@ func (m *Manager) Allocate(c Class, size int64) (*Region, error) {
 	}
 	r := &Region{class: c, offset: off, size: size}
 	m.regionAt[c][off] = r
-	m.record(EvAlloc, 0, size, c, c)
+	m.record(EvAlloc, owner, size, c, c)
+	m.tracer.DM(tracing.KindAlloc, owner, size, "", c.String())
 	return r, nil
 }
 
@@ -205,17 +215,20 @@ func (m *Manager) Free(r *Region) {
 	if r.freed {
 		panic("dm: double free of region")
 	}
+	var owner uint64
 	if o := r.obj; o != nil {
 		if o.primary == r && !o.retired {
 			panic("dm: freeing the primary region of a live object")
 		}
+		owner = o.id
 		o.regions[r.class] = nil
 		r.obj = nil
 	}
 	delete(m.regionAt[r.class], r.offset)
 	m.allocs[r.class].Free(r.offset)
 	r.freed = true
-	m.record(EvFree, 0, r.size, r.class, r.class)
+	m.record(EvFree, owner, r.size, r.class, r.class)
+	m.tracer.DM(tracing.KindFree, owner, r.size, r.class.String(), "")
 }
 
 // SizeOf returns the logical size of a region.
@@ -267,6 +280,7 @@ func (m *Manager) Link(a, b *Region) error {
 	o.regions[loose.class] = loose
 	loose.obj = o
 	loose.dirty = false
+	m.tracer.DM(tracing.KindLink, o.id, o.size, bound.class.String(), loose.class.String())
 	return nil
 }
 
@@ -274,6 +288,13 @@ func (m *Manager) Link(a, b *Region) error {
 // primary becomes unbound (paper Listing 1, before freeing the old fast
 // region).
 func (m *Manager) Unlink(a, b *Region) error {
+	if a == b {
+		// A bound region trivially shares its object with itself, so
+		// without this check a same-region "unlink" of a non-primary
+		// would pass the linkage test below and silently unbind the
+		// region from its own object.
+		return errors.New("dm: unlinking a region from itself")
+	}
 	if a.obj == nil || a.obj != b.obj {
 		return errors.New("dm: unlinking regions that are not linked")
 	}
@@ -287,6 +308,7 @@ func (m *Manager) Unlink(a, b *Region) error {
 	}
 	o.regions[victim.class] = nil
 	victim.obj = nil
+	m.tracer.DM(tracing.KindUnlink, o.id, o.size, victim.class.String(), "")
 	return nil
 }
 
@@ -327,6 +349,17 @@ func (m *Manager) CopyTo(dst, src *Region) float64 {
 		owner = dst.obj.id
 	}
 	m.record(EvCopy, owner, src.size, src.class, dst.class)
+	if m.tracer.Enabled() {
+		// Synchronously the copy just finished at now; asynchronously
+		// it was queued now and runs on the mover's timeline.
+		now, t0, t1 := m.now(), 0.0, 0.0
+		if m.copier.Async {
+			t0, t1 = now, now+t
+		} else {
+			t0, t1 = now-t, now
+		}
+		m.tracer.Copy(owner, src.size, src.class.String(), dst.class.String(), t0, t1)
+	}
 	return t
 }
 
@@ -357,7 +390,10 @@ func (m *Manager) Data(r *Region) []byte {
 // without it they start in slow memory like a hardware cache's backing
 // store.
 func (m *Manager) NewObject(size int64, c Class) (*Object, error) {
-	r, err := m.Allocate(c, size)
+	// The object's ID is decided before the allocation so the alloc
+	// event carries its owner; nextID only commits on success, keeping
+	// the ID sequence identical whether or not allocations fail.
+	r, err := m.allocate(c, size, m.nextID+1)
 	if err != nil {
 		return nil, err
 	}
@@ -400,6 +436,7 @@ func (m *Manager) SetPrimary(o *Object, r *Region) error {
 	}
 	o.primary = r
 	m.record(EvSetPrimary, o.id, o.size, from, r.class)
+	m.tracer.DM(tracing.KindSetPrimary, o.id, o.size, from.String(), r.class.String())
 	return nil
 }
 
@@ -415,6 +452,7 @@ func (m *Manager) DestroyObject(o *Object) {
 		primaryClass = o.primary.class
 	}
 	m.record(EvDestroy, o.id, o.size, primaryClass, primaryClass)
+	m.tracer.DM(tracing.KindDestroy, o.id, o.size, primaryClass.String(), "")
 	o.primary = nil
 	for c, r := range o.regions {
 		if r == nil {
@@ -509,6 +547,7 @@ func (m *Manager) Defrag(c Class) {
 			owner = r.obj.id
 		}
 		m.record(EvDefragMove, owner, r.size, c, c)
+		m.tracer.DM(tracing.KindDefrag, owner, r.size, c.String(), c.String())
 	})
 }
 

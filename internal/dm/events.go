@@ -3,6 +3,7 @@ package dm
 import (
 	"fmt"
 
+	"cachedarrays/internal/tracing"
 	"cachedarrays/internal/units"
 )
 
@@ -118,6 +119,11 @@ func (l *EventLog) Events() []Event {
 // manager. Recording costs one struct copy per action; production runs
 // leave it off.
 func (m *Manager) SetEventLog(l *EventLog) { m.events = l }
+
+// SetTracer attaches (or detaches, with nil) an execution-trace recorder.
+// Unlike the bounded EventLog ring, the tracer retains the full history
+// and is consumed by the tracing exports.
+func (m *Manager) SetTracer(tr *tracing.Recorder) { m.tracer = tr }
 
 // now returns the current virtual time for event stamps.
 func (m *Manager) now() float64 {

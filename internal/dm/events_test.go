@@ -95,6 +95,90 @@ func TestEventKindStrings(t *testing.T) {
 	}
 }
 
+// TestEventsCarryOwnerID is the regression test for the attribution bug:
+// NewObject's allocation and a bound region's Free used to record owner 0,
+// making per-object movement histories impossible to reconstruct.
+func TestEventsCarryOwnerID(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	m := New(p)
+	log := NewEventLog(64)
+	m.SetEventLog(log)
+
+	o, err := m.NewObject(4096, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict flow: new slow region becomes primary, old fast region is
+	// freed while still bound to the object (Free unbinds it itself).
+	s, err := m.Allocate(Slow, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastRegion := m.GetPrimary(o)
+	m.CopyTo(s, fastRegion)
+	if err := m.SetPrimary(o, s); err != nil {
+		t.Fatal(err)
+	}
+	m.Free(fastRegion)
+
+	var allocOwner, freeOwner uint64
+	seenAlloc := false
+	for _, e := range log.Events() {
+		switch e.Kind {
+		case EvAlloc:
+			if !seenAlloc { // the NewObject allocation
+				allocOwner = e.Object
+				seenAlloc = true
+			}
+		case EvFree:
+			freeOwner = e.Object
+		}
+	}
+	if allocOwner != o.ID() {
+		t.Errorf("NewObject alloc event owner = %d, want %d", allocOwner, o.ID())
+	}
+	if freeOwner != o.ID() {
+		t.Errorf("free event owner = %d, want %d", freeOwner, o.ID())
+	}
+}
+
+// TestUnlinkSelfRejected is the regression test for the self-unlink bug:
+// Unlink(a, a) on a bound non-primary used to pass the linkage test (a
+// trivially shares its object with itself) and silently unbind the region
+// from its own object.
+func TestUnlinkSelfRejected(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	m := New(p)
+	o, err := m.NewObject(4096, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Allocate(Slow, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Link(m.GetPrimary(o), s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlink(s, s); err == nil {
+		t.Fatal("Unlink(s, s) on a bound non-primary succeeded")
+	}
+	if got := m.GetLinked(m.GetPrimary(o), Slow); got != s {
+		t.Fatalf("self-unlink detached the secondary: GetLinked = %v, want %v", got, s)
+	}
+	if m.Parent(s) != o {
+		t.Fatal("self-unlink unbound the region from its object")
+	}
+	// Unlinking the primary from itself stays rejected too.
+	if err := m.Unlink(m.GetPrimary(o), m.GetPrimary(o)); err == nil {
+		t.Fatal("Unlink(primary, primary) succeeded")
+	}
+}
+
 func TestNoLogMeansNoRecording(t *testing.T) {
 	p := memsim.NewPlatform(memsim.PlatformConfig{
 		FastCapacity: units.MB, SlowCapacity: units.MB,

@@ -10,6 +10,7 @@ import (
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/policy"
 	"cachedarrays/internal/trace"
+	"cachedarrays/internal/tracing"
 )
 
 // NVRAMOnly as a FastCapacity requests a zero-DRAM run (the right edge of
@@ -136,6 +137,18 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		events = dm.NewEventLog(cfg.TraceEvents)
 		m.SetEventLog(events)
 	}
+	// The execution-trace recorder threads through every layer; nil (the
+	// default) records nothing and costs the instrumented paths a single
+	// branch each.
+	var tr *tracing.Recorder
+	if cfg.Trace {
+		tr = tracing.New(p.Clock.Now)
+		p.Clock.Tracer = tr
+		p.Copier.Tracer = tr
+		m.SetTracer(tr)
+		pol.SetTracer(tr)
+		gc.SetTracer(tr)
+	}
 	objs := make([]*dm.Object, len(model.Tensors))
 
 	// Persistent tensors (weights, gradients, input batch) are allocated
@@ -148,9 +161,11 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 				model.Tensors[id].Name, err)
 		}
 		objs[id] = o
+		tr.Bind(o.ID(), model.Tensors[id].Name, model.Tensors[id].Bytes)
 	}
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		tr.BeginIter(iter)
 		iterStart := p.Clock.Now()
 		fastBase, slowBase := p.Fast.Counters(), p.Slow.Counters()
 		gcBase := gc.Stats().PauseTime
@@ -168,6 +183,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		}
 		for ki := range model.Kernels {
 			k := &model.Kernels[ki]
+			tr.BeginKernel(ki, k.Name)
 			hintStart := p.Clock.Now()
 
 			// Allocate transients whose first use is this kernel.
@@ -178,6 +194,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 						iter, k.Name, model.Tensors[id].Name, err)
 				}
 				objs[id] = o
+				tr.Bind(o.ID(), model.Tensors[id].Name, model.Tensors[id].Bytes)
 			}
 			// Emit the semantic hints; the policy may move data in
 			// response. With synchronous movement the application
@@ -216,18 +233,35 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 					hint(id, false)
 				}
 			}
-			it.MoveTime += p.Clock.Now() - hintStart
+			// The stall events carry the exact floats MoveTime
+			// accumulates, in the same order, so tracing.Verify can
+			// demand bit-exact equality per iteration; zero deltas
+			// are skipped (x + 0 == x).
+			hintStall := p.Clock.Now() - hintStart
+			it.MoveTime += hintStall
+			if hintStall != 0 {
+				tr.Stall("hint", 0, hintStall)
+			}
 			// Wait for this kernel's arguments to finish moving.
 			if readyAt != nil {
 				var need float64
+				blocking := -1
 				for _, id := range append(append([]int{}, k.Reads...), k.Writes...) {
 					if t, ok := readyAt[id]; ok && t > need {
 						need = t
+						blocking = id
 					}
 				}
 				if wait := need - p.Clock.Now(); wait > 0 {
 					p.Clock.Advance(wait)
 					it.MoveTime += wait
+					if tr.Enabled() {
+						var obj uint64
+						if blocking >= 0 && objs[blocking] != nil {
+							obj = objs[blocking].ID()
+						}
+						tr.Stall("wait", obj, wait)
+					}
 				}
 			}
 
@@ -256,6 +290,13 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 			kt := kernelTime(p, k.FLOPs, readBytes, writeBytes)
 			p.Clock.Advance(kt)
 			it.ComputeTime += kt
+			if tr.Enabled() {
+				now := p.Clock.Now()
+				tr.Kernel(now-kt, now,
+					k.FLOPs/p.Compute.PeakFlops+p.Compute.LaunchOverhead)
+				tr.KernelIO(p.Fast.Name, readBytes[0], writeBytes[0])
+				tr.KernelIO(p.Slow.Name, readBytes[1], writeBytes[1])
+			}
 			for _, id := range k.Reads {
 				pol.Unpin(objs[id])
 			}
@@ -282,6 +323,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 				res.HeapSamples = append(res.HeapSamples,
 					HeapSample{Time: p.Clock.Now() - iterStart, Used: used})
 			}
+			tr.EndKernel()
 		}
 
 		// End of iteration: drain any in-flight asynchronous moves,
@@ -293,6 +335,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 			if wait := p.Copier.BusyUntil() - p.Clock.Now(); wait > 0 {
 				p.Clock.Advance(wait)
 				it.MoveTime += wait
+				tr.Stall("drain", 0, wait)
 			}
 		}
 		gc.Collect()
@@ -301,6 +344,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		it.Fast = p.Fast.Counters().Sub(fastBase)
 		it.Slow = p.Slow.Counters().Sub(slowBase)
 		res.Iterations = append(res.Iterations, it)
+		tr.Iter(iter, iterStart, p.Clock.Now())
 
 		if cfg.CheckInvariants {
 			if err := pol.CheckInvariants(); err != nil {
@@ -319,6 +363,34 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 	res.GC = gc.Stats()
 	if events != nil {
 		res.Events = events.Events()
+	}
+	if tr.Enabled() {
+		// Embed the run's authoritative aggregates as the trailing
+		// event, making the trace self-contained: tracing.Verify
+		// re-derives each of these from the event stream and demands
+		// exact equality.
+		moveByIter := make([]float64, len(res.Iterations))
+		for i := range res.Iterations {
+			moveByIter[i] = res.Iterations[i].MoveTime
+		}
+		fc, sc := p.Fast.Counters(), p.Slow.Counters()
+		tr.EmitTotals(tracing.Totals{
+			Copies:          res.DM.Copies,
+			BytesFastToSlow: res.DM.BytesFastToSlow,
+			BytesSlowToFast: res.DM.BytesSlowToFast,
+			BytesWithinFast: res.DM.BytesWithinFast,
+			BytesWithinSlow: res.DM.BytesWithinSlow,
+			DefragMoves:     res.DM.DefragMoves,
+			FastDevice:      p.Fast.Name,
+			SlowDevice:      p.Slow.Name,
+			FastReadBytes:   fc.ReadBytes,
+			FastWriteBytes:  fc.WriteBytes,
+			SlowReadBytes:   sc.ReadBytes,
+			SlowWriteBytes:  sc.WriteBytes,
+			MoveTimeByIter:  moveByIter,
+			Async:           cfg.AsyncMovement,
+		})
+		res.Trace = tr.Events()
 	}
 	res.aggregate()
 	return res, nil

@@ -14,6 +14,7 @@ import (
 	"cachedarrays/internal/memsim"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/policy"
+	"cachedarrays/internal/tracing"
 	"cachedarrays/internal/twolm"
 	"cachedarrays/internal/units"
 )
@@ -55,6 +56,11 @@ type Config struct {
 	// (allocations, copies, primary changes, destroys) into
 	// Result.Events — the movement audit trail for debugging placement.
 	TraceEvents int
+	// Trace records the full structured execution trace (every transfer,
+	// policy decision, kernel span and stall) into Result.Trace, for the
+	// JSONL/Chrome exports. Off by default; the instrumented paths cost a
+	// single nil-check when disabled.
+	Trace bool
 	// SlowTier selects the slow device technology: "" or "nvram"
 	// (Optane DC, the paper's platform) or "cxl" (disaggregated remote
 	// DRAM, the §VI extension target). Policies are untouched by the
@@ -153,6 +159,12 @@ type Result struct {
 	// Events holds the tail of the data-manager event log when
 	// Config.TraceEvents was set (CachedArrays runs only).
 	Events []dm.Event
+
+	// Trace holds the structured execution trace when Config.Trace was
+	// set. The trailing totals event makes it self-contained:
+	// tracing.Verify(Trace) re-derives the aggregates above from the
+	// events and demands exact equality.
+	Trace []tracing.Event
 }
 
 // aggregate fills the averaged fields from the measured iterations

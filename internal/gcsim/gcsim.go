@@ -14,6 +14,7 @@ package gcsim
 import (
 	"cachedarrays/internal/dm"
 	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/tracing"
 )
 
 // Stats counts collector activity.
@@ -41,7 +42,14 @@ type Collector struct {
 	// collector destroys it. The policy uses this to drop the object
 	// from its residency tracking.
 	OnDestroy func(*dm.Object)
+
+	tracer *tracing.Recorder
 }
+
+// SetTracer attaches (or detaches, with nil) an execution-trace recorder;
+// every collection then appears as a GC span, including the mid-iteration
+// collections the policy triggers under memory pressure.
+func (c *Collector) SetTracer(tr *tracing.Recorder) { c.tracer = tr }
 
 // New creates a collector over the manager, charging pauses to clock.
 func New(m *dm.Manager, clock *memsim.Clock) *Collector {
@@ -81,7 +89,11 @@ func (c *Collector) Collect() int64 {
 	if len(c.dead) == 0 {
 		return 0
 	}
-	var reclaimed int64
+	var t0 float64
+	if c.clock != nil {
+		t0 = c.clock.Now()
+	}
+	var reclaimed, freed int64
 	for _, o := range c.dead {
 		if o.Retired() {
 			continue
@@ -92,6 +104,7 @@ func (c *Collector) Collect() int64 {
 		}
 		c.m.DestroyObject(o)
 		c.stats.ObjectsFreed++
+		freed++
 	}
 	pause := c.PauseBase + float64(len(c.dead))*c.PausePerObject
 	if c.clock != nil {
@@ -101,6 +114,9 @@ func (c *Collector) Collect() int64 {
 	c.stats.Collections++
 	c.stats.BytesReclaimed += reclaimed
 	c.dead = c.dead[:0]
+	if c.tracer.Enabled() && c.clock != nil {
+		c.tracer.GC(t0, c.clock.Now(), freed, reclaimed)
+	}
 	return reclaimed
 }
 

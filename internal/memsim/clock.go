@@ -9,12 +9,20 @@
 // terabyte-scale experiments run in milliseconds of host time.
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"cachedarrays/internal/tracing"
+)
 
 // Clock is a virtual-time clock measured in seconds. The zero value is a
 // clock at time zero, ready to use.
 type Clock struct {
 	now float64
+
+	// Tracer, when non-nil, records every advance into the execution
+	// trace. A nil tracer costs one branch per advance.
+	Tracer *tracing.Recorder
 }
 
 // Now returns the current virtual time in seconds.
@@ -28,6 +36,7 @@ func (c *Clock) Advance(dt float64) {
 		panic(fmt.Sprintf("memsim: negative clock advance %g", dt))
 	}
 	c.now += dt
+	c.Tracer.ClockAdvance(c.now, dt)
 }
 
 // Reset rewinds the clock to zero. Experiments reuse one platform across

@@ -1,6 +1,10 @@
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"cachedarrays/internal/tracing"
+)
 
 // CopyEngine is the data-movement mechanism of the data manager: a
 // multi-threaded memcpy between (or within) devices that always uses
@@ -35,9 +39,16 @@ type CopyEngine struct {
 	// BusyUntil (the engine's executors do this per data dependency).
 	Async bool
 
+	// Tracer, when non-nil, records every transfer (with its stream
+	// shapes and the mover's queue state) into the execution trace.
+	Tracer *tracing.Recorder
+
 	// busyUntil is the virtual time at which the asynchronous mover
 	// finishes its queued work.
 	busyUntil float64
+	// queued counts transfers enqueued since the asynchronous mover was
+	// last idle — the queue depth the tracer reports.
+	queued int
 }
 
 // BusyUntil returns the time the asynchronous mover drains its queue; for
@@ -50,6 +61,16 @@ func (e *CopyEngine) BusyUntil() float64 {
 		return e.Clock.Now()
 	}
 	return e.busyUntil
+}
+
+// Reset returns the engine to its just-built state: the asynchronous
+// mover's queue is empty. Experiments that reuse a platform across runs
+// must reset the engine along with the clock — a rewound clock would
+// otherwise leave busyUntil pointing at a stale future timestamp and the
+// mover would appear busy at the start of the next run.
+func (e *CopyEngine) Reset() {
+	e.busyUntil = 0
+	e.queued = 0
 }
 
 // NewCopyEngine returns an engine with the given thread pool over the
@@ -145,10 +166,22 @@ func (e *CopyEngine) Copy(dst *Device, dstOff int64, src *Device, srcOff int64, 
 		start := e.Clock.Now()
 		if e.busyUntil > start {
 			start = e.busyUntil
+			e.queued++
+		} else {
+			e.queued = 1
 		}
 		e.busyUntil = start + t
+		if e.Tracer.Enabled() {
+			e.Tracer.Xfer(src.Name, dst.Name, n, start, e.busyUntil,
+				threads, e.writeAccess(threads).Threads, e.queued, e.busyUntil-e.Clock.Now())
+		}
 	} else if e.Clock != nil {
 		e.Clock.Advance(t)
+		if e.Tracer.Enabled() {
+			now := e.Clock.Now()
+			e.Tracer.Xfer(src.Name, dst.Name, n, now-t, now,
+				threads, e.writeAccess(threads).Threads, 0, 0)
+		}
 	}
 	if dst.Backed() && src.Backed() {
 		copy(dst.Data(dstOff, n), src.Data(srcOff, n))

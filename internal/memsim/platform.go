@@ -140,11 +140,16 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 // (180 GB DRAM + 1300 GB NVRAM, unbacked).
 func DefaultPlatform() *Platform { return NewPlatform(PlatformConfig{}) }
 
-// Reset rewinds the clock and zeroes both devices' counters.
+// Reset rewinds the clock, zeroes both devices' counters and drains the
+// copy engine's asynchronous queue, so a reused platform is
+// indistinguishable from a fresh one.
 func (p *Platform) Reset() {
 	p.Clock.Reset()
 	p.Fast.ResetCounters()
 	p.Slow.ResetCounters()
+	if p.Copier != nil {
+		p.Copier.Reset()
+	}
 }
 
 // Device returns the device of the given kind.

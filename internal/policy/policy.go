@@ -11,6 +11,7 @@ import (
 
 	"cachedarrays/internal/dm"
 	"cachedarrays/internal/gcsim"
+	"cachedarrays/internal/tracing"
 )
 
 // Hinter is the policy API the application (or the runtime compiling the
@@ -187,6 +188,12 @@ type Tiered struct {
 
 	stats Stats
 	name  string
+
+	// tr records policy decisions into the execution trace (nil = off).
+	// forcing is set while makeRoomInFast drives evictions, so those are
+	// traced as forced evictions rather than voluntary ones.
+	tr      *tracing.Recorder
+	forcing bool
 }
 
 var _ Hinter = (*Tiered)(nil)
@@ -209,6 +216,11 @@ func NewTieredConfig(m *dm.Manager, cfg Config, name string, gc *gcsim.Collector
 	return p
 }
 
+// SetTracer attaches (or detaches, with nil) an execution-trace recorder;
+// every decision the policy takes is recorded with the hint that triggered
+// it.
+func (p *Tiered) SetTracer(tr *tracing.Recorder) { p.tr = tr }
+
 // Name returns the mode name (e.g. "CA:LM").
 func (p *Tiered) Name() string { return p.name }
 
@@ -229,6 +241,8 @@ func (p *Tiered) Config() Config { return p.cfg }
 // directly in fast memory (evicting to make room if needed); otherwise it
 // is born in slow memory like data behind a hardware cache.
 func (p *Tiered) NewObject(size int64) (*dm.Object, error) {
+	p.tr.SetHint("alloc")
+	defer p.tr.SetHint("")
 	if p.cfg.LocalAlloc {
 		if o, err := p.m.NewObject(size, dm.Fast); err == nil {
 			p.stats.FastAllocs++
@@ -252,6 +266,7 @@ func (p *Tiered) NewObject(size int64) (*dm.Object, error) {
 		// "explicitly triggering collection when memory pressure is
 		// detected").
 		p.stats.GCTriggers++
+		p.tr.Decision("gc-trigger", 0, size)
 		p.gc.Collect()
 		o, err = p.m.NewObject(size, dm.Slow)
 	}
@@ -268,31 +283,37 @@ func (p *Tiered) NewObject(size int64) (*dm.Object, error) {
 // WillUse is the direction-unknown hint; the policy treats it like a read
 // that may also write, i.e. it fetches when either fetch switch is on.
 func (p *Tiered) WillUse(o *dm.Object) {
+	p.tr.SetHint("will_use")
 	if p.cfg.FetchOnRead || p.cfg.FetchOnWrite {
 		p.Prefetch(o, true)
 	}
 	p.touch(o)
+	p.tr.SetHint("")
 }
 
 // WillRead reacts to an upcoming read. With FetchOnRead the object is
 // prefetched into fast memory; otherwise NVRAM's decent read bandwidth
 // serves it in place.
 func (p *Tiered) WillRead(o *dm.Object) {
+	p.tr.SetHint("will_read")
 	if p.cfg.FetchOnRead {
 		p.Prefetch(o, true)
 	}
 	p.touch(o)
+	p.tr.SetHint("")
 }
 
 // WillWrite reacts to an upcoming write: the object is moved into fast
 // memory if at all possible (NVRAM writes are the scarce resource), and its
 // primary is marked dirty so a later eviction writes the data back.
 func (p *Tiered) WillWrite(o *dm.Object) {
+	p.tr.SetHint("will_write")
 	if p.cfg.FetchOnWrite {
 		p.Prefetch(o, true)
 	}
 	p.m.MarkDirty(p.m.GetPrimary(o))
 	p.touch(o)
+	p.tr.SetHint("")
 }
 
 // Archive marks the object as a preferred eviction victim. It is NOT
@@ -305,6 +326,7 @@ func (p *Tiered) Archive(o *dm.Object) {
 	if s.archived {
 		return
 	}
+	p.tr.SetHint("archive")
 	s.archived = true
 	if s.elem != nil {
 		p.active.Remove(s.elem)
@@ -316,6 +338,7 @@ func (p *Tiered) Archive(o *dm.Object) {
 		// the object prioritized in the archived list.
 		_ = p.Evict(o)
 	}
+	p.tr.SetHint("")
 }
 
 // Retire declares the object dead. With EagerRetire the object is
@@ -328,16 +351,21 @@ func (p *Tiered) Retire(o *dm.Object) {
 	if s.dead {
 		return
 	}
+	p.tr.SetHint("retire")
+	defer p.tr.SetHint("")
 	s.dead = true
 	if p.cfg.EagerRetire {
 		if p.m.IsDirty(p.m.GetPrimary(o)) {
 			p.stats.ElidedWritebacks++
+			p.tr.Decision("elide-writeback", o.ID(), o.Size())
 		}
+		p.tr.Decision("eager-retire", o.ID(), o.Size())
 		p.untrackFast(o)
 		p.m.DestroyObject(o)
 		p.stats.EagerRetires++
 		return
 	}
+	p.tr.Decision("deferred-retire", o.ID(), o.Size())
 	p.gc.MarkDead(o)
 	p.stats.DeferredRetires++
 }
@@ -365,6 +393,7 @@ func (p *Tiered) Evict(o *dm.Object) error {
 		y, err = p.m.Allocate(dm.Slow, sz)
 		if err == dm.ErrExhausted && p.gc != nil && p.gc.PendingObjects() > 0 {
 			p.stats.GCTriggers++
+			p.tr.Decision("gc-trigger", o.ID(), sz)
 			p.gc.Collect()
 			// The collection may have destroyed o itself (if o was
 			// dead); guard before retrying.
@@ -382,6 +411,7 @@ func (p *Tiered) Evict(o *dm.Object) error {
 		p.m.CopyTo(y, x)
 	} else {
 		p.stats.ElidedWritebacks++
+		p.tr.Decision("elide-writeback", o.ID(), sz)
 	}
 	if err := p.m.SetPrimary(o, y); err != nil {
 		return err
@@ -395,6 +425,13 @@ func (p *Tiered) Evict(o *dm.Object) error {
 	p.m.Free(x)
 	p.stats.Evictions++
 	p.stats.EvictionBytes += sz
+	if p.tr.Enabled() {
+		op := "evict"
+		if p.forcing {
+			op = "evict-forced"
+		}
+		p.tr.Decision(op, o.ID(), sz)
+	}
 	return nil
 }
 
@@ -409,16 +446,20 @@ func (p *Tiered) Prefetch(o *dm.Object, force bool) bool {
 		return true
 	}
 	sz := p.m.SizeOf(x)
+	forced := false
 	y, err := p.m.Allocate(dm.Fast, sz)
 	if err == dm.ErrExhausted {
 		if !force || !p.makeRoomInFast(sz) {
 			p.stats.FetchFailures++
+			p.tr.Decision("fetch-failure", o.ID(), sz)
 			return false
 		}
+		forced = true
 		y, err = p.m.Allocate(dm.Fast, sz)
 	}
 	if err != nil {
 		p.stats.FetchFailures++
+		p.tr.Decision("fetch-failure", o.ID(), sz)
 		return false
 	}
 	p.m.CopyTo(y, x)
@@ -431,6 +472,13 @@ func (p *Tiered) Prefetch(o *dm.Object, force bool) bool {
 	p.trackFast(o)
 	p.stats.Prefetches++
 	p.stats.PrefetchBytes += sz
+	if p.tr.Enabled() {
+		op := "prefetch"
+		if forced {
+			op = "prefetch-forced"
+		}
+		p.tr.Decision(op, o.ID(), sz)
+	}
 	return true
 }
 

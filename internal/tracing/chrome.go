@@ -1,0 +1,165 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cachedarrays/internal/units"
+)
+
+// Chrome trace-event export: the trace rendered for chrome://tracing and
+// Perfetto (ui.perfetto.dev). Track layout:
+//
+//	platform  — one track per memory device (transfers land on the write
+//	            side's track), plus a counter track for the asynchronous
+//	            mover's queue depth and backlog;
+//	policy    — a "movement" track with object-copy spans and a
+//	            "decisions" track with instant decision markers;
+//	compute   — the kernel execution stream, the movement-stall track,
+//	            GC pauses and iteration spans.
+//
+// Lifecycle events (alloc/free/link/setprimary/destroy) are deliberately
+// left to the JSONL export: they are per-object bookkeeping, not timeline
+// content, and at paper scale they would dominate the render.
+
+// chromeEvent is one trace-event record (Chrome Trace Event Format).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON object container format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	pidPlatform = 1
+	pidPolicy   = 2
+	pidCompute  = 3
+
+	tidMovement   = 1
+	tidDecisions  = 2
+	tidKernels    = 1
+	tidStalls     = 2
+	tidGC         = 3
+	tidIterations = 4
+)
+
+const usec = 1e6 // seconds -> trace-event microseconds
+
+// WriteChrome writes the events as a Chrome trace-event JSON file.
+func WriteChrome(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	meta := func(pid, tid int, key, name string) {
+		out = append(out, chromeEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(pidPlatform, 0, "process_name", "platform")
+	meta(pidPolicy, 0, "process_name", "policy")
+	meta(pidPolicy, tidMovement, "thread_name", "movement")
+	meta(pidPolicy, tidDecisions, "thread_name", "decisions")
+	meta(pidCompute, 0, "process_name", "compute")
+	meta(pidCompute, tidKernels, "thread_name", "kernels")
+	meta(pidCompute, tidStalls, "thread_name", "movement stalls")
+	meta(pidCompute, tidGC, "thread_name", "gc")
+	meta(pidCompute, tidIterations, "thread_name", "iterations")
+
+	// One platform track per device, allocated in first-seen order.
+	deviceTid := map[string]int{}
+	devTrack := func(name string) int {
+		if tid, ok := deviceTid[name]; ok {
+			return tid
+		}
+		tid := len(deviceTid) + 1
+		deviceTid[name] = tid
+		meta(pidPlatform, tid, "thread_name", "device "+name)
+		return tid
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindXfer:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("copy %s %s→%s", units.Bytes(e.Bytes), e.From, e.To),
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: pidPlatform, Tid: devTrack(e.To),
+				Args: map[string]any{
+					"bytes": e.Bytes, "src": e.From, "dst": e.To,
+					"read_threads": e.RThreads, "write_threads": e.WThreads,
+				},
+			})
+			if e.Depth > 0 {
+				out = append(out, chromeEvent{
+					Name: "async mover", Ph: "C", Ts: e.T0 * usec, Pid: pidPlatform,
+					Args: map[string]any{"queue_depth": e.Depth, "backlog_s": e.Backlog},
+				})
+			}
+		case KindCopy:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("obj %d %s→%s", e.Obj, e.From, e.To),
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: pidPolicy, Tid: tidMovement,
+				Args: map[string]any{
+					"obj": e.Obj, "bytes": e.Bytes, "cause": e.Cause,
+					"kernel": e.KName, "iter": e.Iter,
+				},
+			})
+		case KindDecision:
+			out = append(out, chromeEvent{
+				Name: e.Op, Ph: "i", Ts: e.T0 * usec, S: "t",
+				Pid: pidPolicy, Tid: tidDecisions,
+				Args: map[string]any{
+					"obj": e.Obj, "bytes": e.Bytes, "cause": e.Cause, "kernel": e.KName,
+				},
+			})
+		case KindKernel:
+			out = append(out, chromeEvent{
+				Name: e.KName, Ph: "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: pidCompute, Tid: tidKernels,
+				Args: map[string]any{
+					"iter": e.Iter, "compute_s": e.Compute,
+					"memory_bound_s": e.Dur - e.Compute,
+				},
+			})
+		case KindStall:
+			if e.Dur <= 0 {
+				continue
+			}
+			name := "stall:" + e.Op
+			if e.KName != "" {
+				name += " before " + e.KName
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: pidCompute, Tid: tidStalls,
+				Args: map[string]any{"obj": e.Obj, "iter": e.Iter},
+			})
+		case KindGC:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("gc (%d objects, %s)", e.Obj, units.Bytes(e.Bytes)),
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: pidCompute, Tid: tidGC,
+			})
+		case KindIter:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("iteration %d", e.Iter),
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: pidCompute, Tid: tidIterations,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,36 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes the events as one JSON object per line — the
+// programmatic export catrace and analysis scripts consume.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("tracing: writing event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a JSONL event log written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return events, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("tracing: reading event %d: %w", len(events), err)
+		}
+		events = append(events, e)
+	}
+}

@@ -1,0 +1,123 @@
+package tracing
+
+import "fmt"
+
+// Summary is what Verify recomputes from the raw event stream: the same
+// shape as Totals, derived independently from the per-event records.
+type Summary struct {
+	Copies          int64
+	BytesFastToSlow int64
+	BytesSlowToFast int64
+	BytesWithinFast int64
+	BytesWithinSlow int64
+	DefragMoves     int64
+	ReadBytes       map[string]int64 // per device name
+	WriteBytes      map[string]int64
+	StallByIter     []float64
+	StallSeconds    float64
+}
+
+// Summarize folds the event stream into a Summary. Stall durations are
+// summed in event order so the per-iteration totals repeat the engine's own
+// float additions exactly.
+func Summarize(events []Event) Summary {
+	s := Summary{
+		ReadBytes:  map[string]int64{},
+		WriteBytes: map[string]int64{},
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindCopy:
+			s.Copies++
+			switch {
+			case e.From == "fast" && e.To == "slow":
+				s.BytesFastToSlow += e.Bytes
+			case e.From == "slow" && e.To == "fast":
+				s.BytesSlowToFast += e.Bytes
+			case e.From == "fast":
+				s.BytesWithinFast += e.Bytes
+			default:
+				s.BytesWithinSlow += e.Bytes
+			}
+		case KindDefrag:
+			s.DefragMoves++
+		case KindXfer:
+			s.ReadBytes[e.From] += e.Bytes
+			s.WriteBytes[e.To] += e.Bytes
+		case KindKernelIO:
+			s.ReadBytes[e.From] += e.RBytes
+			s.WriteBytes[e.From] += e.WBytes
+		case KindStall:
+			for len(s.StallByIter) <= e.Iter {
+				s.StallByIter = append(s.StallByIter, 0)
+			}
+			if e.Iter >= 0 {
+				s.StallByIter[e.Iter] += e.Dur
+				s.StallSeconds += e.Dur
+			}
+		}
+	}
+	return s
+}
+
+// FindTotals returns the trace's trailing aggregate record, or nil when
+// the trace has none.
+func FindTotals(events []Event) *Totals {
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Kind == KindTotals && events[i].Totals != nil {
+			return events[i].Totals
+		}
+	}
+	return nil
+}
+
+// Verify checks that the trace is an exact decomposition of the run's
+// published aggregates: summed per-event copy bytes equal the data
+// manager's movement counters, summed transfer and kernel traffic equals
+// the device counters, and summed stall durations equal each iteration's
+// movement-stall time bit-for-bit. It returns the first mismatch found.
+func Verify(events []Event) error {
+	t := FindTotals(events)
+	if t == nil {
+		return fmt.Errorf("tracing: trace has no totals record")
+	}
+	s := Summarize(events)
+
+	intChecks := []struct {
+		name      string
+		got, want int64
+	}{
+		{"copies", s.Copies, t.Copies},
+		{"bytes fast->slow", s.BytesFastToSlow, t.BytesFastToSlow},
+		{"bytes slow->fast", s.BytesSlowToFast, t.BytesSlowToFast},
+		{"bytes within fast", s.BytesWithinFast, t.BytesWithinFast},
+		{"bytes within slow", s.BytesWithinSlow, t.BytesWithinSlow},
+		{"defrag moves", s.DefragMoves, t.DefragMoves},
+		{"fast read bytes", s.ReadBytes[t.FastDevice], t.FastReadBytes},
+		{"fast write bytes", s.WriteBytes[t.FastDevice], t.FastWriteBytes},
+		{"slow read bytes", s.ReadBytes[t.SlowDevice], t.SlowReadBytes},
+		{"slow write bytes", s.WriteBytes[t.SlowDevice], t.SlowWriteBytes},
+	}
+	for _, c := range intChecks {
+		if c.got != c.want {
+			return fmt.Errorf("tracing: %s: trace sums to %d, aggregates say %d", c.name, c.got, c.want)
+		}
+	}
+
+	if got, want := len(s.StallByIter), len(t.MoveTimeByIter); got > want {
+		return fmt.Errorf("tracing: stall events span %d iterations, run had %d", got, want)
+	}
+	for i, want := range t.MoveTimeByIter {
+		var got float64
+		if i < len(s.StallByIter) {
+			got = s.StallByIter[i]
+		}
+		// Exact float equality is intentional: the engine accumulated
+		// MoveTime from the same values in the same order.
+		if got != want {
+			return fmt.Errorf("tracing: iteration %d stall seconds: trace sums to %v, engine measured %v",
+				i, got, want)
+		}
+	}
+	return nil
+}
