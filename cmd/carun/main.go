@@ -87,6 +87,8 @@ func main() {
 		dump      = flag.String("dumpworkload", "", "write the built workload as JSON to this file and exit")
 		events    = flag.Int("events", 0, "print the last N data-manager events (CA modes)")
 		tracePath = flag.String("trace", "", "write the execution trace to this file (CA modes; .jsonl for the raw event log, anything else for Chrome/Perfetto trace-event JSON)")
+		check     = flag.Bool("check", false, "audit runtime invariants at every clock advance (CA modes; slower)")
+		faultSpec = flag.String("faults", "", "inject a deterministic fault schedule (CA modes), e.g. 'seed=42;allocfail:fast:t0=0.1,t1=0.3,p=0.5;copystall:nvram:t0=0,stall=2ms'")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -117,12 +119,14 @@ func main() {
 		return
 	}
 	cfg := engine.Config{
-		Iterations:    *iters,
-		AsyncMovement: *async,
-		HintLookahead: *lookahead,
-		Allocator:     *allocator,
-		TraceEvents:   *events,
-		Trace:         *tracePath != "",
+		Iterations:        *iters,
+		AsyncMovement:     *async,
+		HintLookahead:     *lookahead,
+		Allocator:         *allocator,
+		TraceEvents:       *events,
+		Trace:             *tracePath != "",
+		CheckEveryAdvance: *check,
+		FaultSpec:         *faultSpec,
 	}
 	if *dram != "" {
 		n, err := units.ParseBytes(*dram)
@@ -172,6 +176,16 @@ func main() {
 			units.Bytes(p.EvictionBytes), p.ElidedWritebacks)
 		fmt.Printf("retire      : %d eager, %d deferred; gc: %d collections\n",
 			p.EagerRetires, p.DeferredRetires, r.GC.Collections)
+	}
+	if f := r.Faults; f.Total() > 0 {
+		fmt.Printf("faults      : %d alloc failures, %d copy errors, %d copy stalls (%s), %d throttle hits, %d shrink rejects\n",
+			f.AllocFailures, f.CopyErrors, f.CopyStalls, units.Seconds(f.StallSeconds),
+			f.ThrottleHits, f.ShrinkRejects)
+		fmt.Printf("degradation : %d alloc retries, %d copy retries, %d slow-tier fallbacks, %d fetch failures\n",
+			r.DM.AllocRetries, r.DM.CopyRetries, r.Policy.FallbackAllocs, r.Policy.FetchFailures)
+	}
+	if *check {
+		fmt.Printf("invariants  : %d audits passed\n", r.InvariantChecks)
 	}
 	if *events > 0 && len(r.Events) > 0 {
 		fmt.Printf("\nlast %d data-manager events:\n", len(r.Events))

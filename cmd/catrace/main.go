@@ -1,7 +1,9 @@
 // Command catrace summarizes an execution trace recorded with
 // carun -trace <file>.jsonl: it re-verifies the trace against the run's
-// embedded aggregates, attributes movement stalls to their sites, and
-// reconstructs per-object movement histories.
+// embedded aggregates, attributes movement stalls to their sites,
+// attributes injected faults and the resulting retries and degradation
+// decisions to their hint windows, and reconstructs per-object movement
+// histories.
 //
 // Examples:
 //
@@ -13,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -67,8 +70,9 @@ func main() {
 	fmt.Println()
 
 	names := tensorNames(events)
-	printStallTable(events, names, s.StallSeconds, *top)
-	printObjectHistories(events, names, *objects, *verbose)
+	printStallTable(os.Stdout, events, names, s.StallSeconds, *top)
+	printFaultTable(os.Stdout, events, names)
+	printObjectHistories(os.Stdout, events, names, *objects, *verbose)
 }
 
 // tensorNames maps object IDs to tensor names via the bind events.
@@ -92,7 +96,7 @@ type stallKey struct {
 
 // printStallTable aggregates stalls by site and prints the top-n table —
 // the "where did my iteration time go" view.
-func printStallTable(events []tracing.Event, names map[uint64]string, total float64, n int) {
+func printStallTable(w io.Writer, events []tracing.Event, names map[uint64]string, total float64, n int) {
 	type row struct {
 		key     stallKey
 		seconds float64
@@ -121,11 +125,11 @@ func printStallTable(events []tracing.Event, names map[uint64]string, total floa
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].seconds > rows[j].seconds })
 	if len(rows) == 0 {
-		fmt.Println("\nno movement stalls recorded")
+		fmt.Fprintln(w, "\nno movement stalls recorded")
 		return
 	}
-	fmt.Printf("\ntop stall sites (of %d):\n", len(rows))
-	fmt.Printf("  %-6s %-24s %-24s %8s %12s %7s\n", "site", "kernel", "tensor", "count", "seconds", "share")
+	fmt.Fprintf(w, "\ntop stall sites (of %d):\n", len(rows))
+	fmt.Fprintf(w, "  %-6s %-24s %-24s %8s %12s %7s\n", "site", "kernel", "tensor", "count", "seconds", "share")
 	shown := rows
 	if len(shown) > n {
 		shown = shown[:n]
@@ -142,15 +146,128 @@ func printStallTable(events []tracing.Event, names map[uint64]string, total floa
 		if total > 0 {
 			share = 100 * r.seconds / total
 		}
-		fmt.Printf("  %-6s %-24s %-24s %8d %12s %6.1f%%\n",
+		fmt.Fprintf(w, "  %-6s %-24s %-24s %8d %12s %6.1f%%\n",
 			r.key.op, clip(kernel, 24), clip(tensor, 24), r.count,
 			units.Seconds(r.seconds), share)
 	}
 }
 
+// degradations names the policy decisions that exist only as graceful
+// responses to injected faults; catrace surfaces them next to the faults
+// that caused them.
+var degradations = map[string]bool{
+	"fallback-slow":   true,
+	"evict-abandoned": true,
+	"fetch-failure":   true,
+}
+
+// printFaultTable attributes injected faults to the hint windows they fired
+// in, alongside the victims' responses: bounded retry/backoff steps and the
+// policy's degradation decisions. Traces from fault-free runs carry none of
+// these events and the section is omitted entirely.
+func printFaultTable(w io.Writer, events []tracing.Event, names map[uint64]string) {
+	type key struct {
+		kind  string // fault / retry / decision
+		op    string // alloc-fail, copy-retry, fallback-slow, ...
+		cause string // hint window the event fired in
+	}
+	type row struct {
+		key     key
+		count   int64
+		bytes   int64
+		seconds float64 // injected stall or backoff waited
+		tensors map[string]bool
+	}
+	byKey := map[key]*row{}
+	add := func(k key, e tracing.Event) {
+		r := byKey[k]
+		if r == nil {
+			r = &row{key: k, tensors: map[string]bool{}}
+			byKey[k] = r
+		}
+		r.count++
+		r.bytes += e.Bytes
+		r.seconds += e.Dur
+		if name := names[e.Obj]; name != "" {
+			r.tensors[name] = true
+		}
+	}
+	for _, e := range events {
+		switch {
+		case e.Kind == tracing.KindFault:
+			add(key{kind: "fault", op: e.Op, cause: e.Cause}, e)
+		case e.Kind == tracing.KindRetry:
+			add(key{kind: "retry", op: e.Op, cause: e.Cause}, e)
+		case e.Kind == tracing.KindDecision && degradations[e.Op]:
+			add(key{kind: "decision", op: e.Op, cause: e.Cause}, e)
+		}
+	}
+	if len(byKey) == 0 {
+		return
+	}
+	rows := make([]*row, 0, len(byKey))
+	for _, r := range byKey {
+		rows = append(rows, r)
+	}
+	// Faults first, then the retries they triggered, then the decisions
+	// the policy took; within a class, heaviest hitters first.
+	rank := map[string]int{"fault": 0, "retry": 1, "decision": 2}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if rank[a.key.kind] != rank[b.key.kind] {
+			return rank[a.key.kind] < rank[b.key.kind]
+		}
+		if a.count != b.count {
+			return a.count > b.count
+		}
+		if a.key.op != b.key.op {
+			return a.key.op < b.key.op
+		}
+		return a.key.cause < b.key.cause
+	})
+	fmt.Fprintf(w, "\ninjected faults and degradation (%d sites):\n", len(rows))
+	fmt.Fprintf(w, "  %-8s %-16s %-12s %8s %10s %12s %s\n",
+		"class", "event", "during", "count", "bytes", "seconds", "tensors")
+	for _, r := range rows {
+		cause := r.key.cause
+		if cause == "" {
+			cause = "-"
+		}
+		fmt.Fprintf(w, "  %-8s %-16s %-12s %8d %10s %12s %s\n",
+			r.key.kind, r.key.op, clip(cause, 12), r.count,
+			units.Bytes(r.bytes), units.Seconds(r.seconds),
+			tensorList(r.tensors, 3))
+	}
+}
+
+// tensorList renders up to n tensor names from a set, sorted for
+// deterministic output.
+func tensorList(set map[string]bool, n int) string {
+	if len(set) == 0 {
+		return "-"
+	}
+	all := make([]string, 0, len(set))
+	for name := range set {
+		all = append(all, name)
+	}
+	sort.Strings(all)
+	out := ""
+	for i, name := range all {
+		if i == n {
+			out += fmt.Sprintf(" +%d more", len(all)-n)
+			break
+		}
+		if i > 0 {
+			out += " "
+		}
+		out += name
+	}
+	return out
+}
+
 // printObjectHistories lists the n objects with the most moved bytes and
 // reconstructs each one's movement history from its copy events.
-func printObjectHistories(events []tracing.Event, names map[uint64]string, n int, verbose bool) {
+func printObjectHistories(w io.Writer, events []tracing.Event, names map[uint64]string, n int, verbose bool) {
 	type hist struct {
 		obj    uint64
 		bytes  int64
@@ -180,10 +297,10 @@ func printObjectHistories(events []tracing.Event, names map[uint64]string, n int
 		return hists[i].obj < hists[j].obj
 	})
 	if len(hists) == 0 {
-		fmt.Println("\nno object movement recorded")
+		fmt.Fprintln(w, "\nno object movement recorded")
 		return
 	}
-	fmt.Printf("\nmost-moved objects (of %d):\n", len(hists))
+	fmt.Fprintf(w, "\nmost-moved objects (of %d):\n", len(hists))
 	if len(hists) > n {
 		hists = hists[:n]
 	}
@@ -192,7 +309,7 @@ func printObjectHistories(events []tracing.Event, names map[uint64]string, n int
 		if name == "" {
 			name = "?"
 		}
-		fmt.Printf("  obj %-5d %-28s %10s moved in %d copies\n",
+		fmt.Fprintf(w, "  obj %-5d %-28s %10s moved in %d copies\n",
 			h.obj, clip(name, 28), units.Bytes(h.bytes), len(h.copies))
 		if !verbose {
 			continue
@@ -206,7 +323,7 @@ func printObjectHistories(events []tracing.Event, names map[uint64]string, n int
 			if cause == "" {
 				cause = "-"
 			}
-			fmt.Printf("    iter %d  t=%-12s %5s->%-5s %10s  cause=%-10s at %s\n",
+			fmt.Fprintf(w, "    iter %d  t=%-12s %5s->%-5s %10s  cause=%-10s at %s\n",
 				e.Iter, units.Seconds(e.T0), e.From, e.To, units.Bytes(e.Bytes), cause, site)
 		}
 	}

@@ -1,0 +1,96 @@
+package alloc
+
+import (
+	"testing"
+)
+
+// FuzzAllocFreeSequence drives the indexed FreeList and the scan-based
+// Reference allocator with the same operation sequence decoded from the
+// fuzz input and requires them to stay observably identical: same offsets,
+// same errors, same usage statistics, and both internally consistent at
+// every step. The Reference allocator is the executable specification; any
+// divergence is a bug in the indexed fast path.
+func FuzzAllocFreeSequence(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0x10, 0x81, 0x20, 0x02, 0x00, 0x41, 0x7f, 0x03, 0x01})
+	f.Add([]byte{0, 0xff, 0xff, 0x02, 0x00, 0x00, 0x08, 0x42, 0x02, 0x01, 0x81, 0x33})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		fit := FirstFit
+		if data[0]&1 == 1 {
+			fit = BestFit
+		}
+		const capacity = 1 << 16
+		fl := NewFreeList(capacity, fit)
+		ref := NewReference(capacity, fit)
+		var live []int64 // offsets allocated and not yet freed
+
+		check := func(step int) {
+			if err := fl.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: freelist: %v", step, err)
+			}
+			if err := ref.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: reference: %v", step, err)
+			}
+			if fl.Used() != ref.Used() || fl.FreeBytes() != ref.FreeBytes() {
+				t.Fatalf("step %d: usage diverged: freelist %d/%d, reference %d/%d",
+					step, fl.Used(), fl.FreeBytes(), ref.Used(), ref.FreeBytes())
+			}
+			if fl.LargestFree() != ref.LargestFree() {
+				t.Fatalf("step %d: LargestFree diverged: %d vs %d",
+					step, fl.LargestFree(), ref.LargestFree())
+			}
+		}
+
+		ops := data[1:]
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			switch op % 3 {
+			case 0, 1: // alloc; sizes span sub-align to multi-KiB
+				size := int64(arg)*97 + 1
+				offA, errA := fl.Alloc(size)
+				offB, errB := ref.Alloc(size)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("step %d: alloc(%d) errors diverged: %v vs %v", i, size, errA, errB)
+				}
+				if errA != nil {
+					if errA != ErrExhausted || errB != ErrExhausted {
+						t.Fatalf("step %d: alloc(%d) unexpected errors: %v / %v", i, size, errA, errB)
+					}
+					continue
+				}
+				if offA != offB {
+					t.Fatalf("step %d: alloc(%d) offsets diverged: %d vs %d", i, size, offA, offB)
+				}
+				if fl.SizeOf(offA) != ref.SizeOf(offB) {
+					t.Fatalf("step %d: SizeOf(%d) diverged: %d vs %d",
+						i, offA, fl.SizeOf(offA), ref.SizeOf(offB))
+				}
+				live = append(live, offA)
+			case 2: // free a pseudo-random live block
+				if len(live) == 0 {
+					continue
+				}
+				k := int(arg) % len(live)
+				off := live[k]
+				live = append(live[:k], live[k+1:]...)
+				fl.Free(off)
+				ref.Free(off)
+			}
+			check(i)
+		}
+
+		// Drain: every remaining block must free cleanly and the heaps
+		// must end empty and identical.
+		for _, off := range live {
+			fl.Free(off)
+			ref.Free(off)
+		}
+		check(len(ops))
+		if fl.Used() != 0 {
+			t.Fatalf("drained heap still has %d used bytes", fl.Used())
+		}
+	})
+}

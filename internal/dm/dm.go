@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/faults"
 	"cachedarrays/internal/memsim"
 	"cachedarrays/internal/tracing"
 )
@@ -53,6 +54,23 @@ func (c Class) String() string {
 // ErrExhausted mirrors alloc.ErrExhausted at the manager level: the
 // requested device cannot hold the region. Policies respond by evicting.
 var ErrExhausted = alloc.ErrExhausted
+
+// ErrFaultInjected marks a transient injected failure that survived the
+// manager's bounded retry/backoff. Unlike ErrExhausted, evicting will not
+// cure it; policies respond by degrading (placing on the other tier,
+// serving reads in place) instead of forcing room.
+var ErrFaultInjected = faults.ErrInjected
+
+// Bounded retry/backoff budgets for injected transient faults, in virtual
+// time: the first retry waits the base, each subsequent retry doubles it.
+// The budgets are deliberately small — they model a runtime briefly
+// re-trying a stalled device, not an unbounded spin.
+const (
+	allocRetryMax  = 4
+	allocRetryBase = 50e-6 // 50 µs
+	copyRetryMax   = 6
+	copyRetryBase  = 100e-6 // 100 µs
+)
 
 // Region is a contiguous slice of one device's heap, optionally bound to an
 // object. Fields are read via accessors; all mutation goes through the
@@ -98,6 +116,14 @@ func (o *Object) Size() int64 { return o.size }
 // Retired reports whether the object has been destroyed.
 func (o *Object) Retired() bool { return o.retired }
 
+// Primary returns the object's primary region, or nil after destruction.
+// Unlike Manager.GetPrimary it never panics, which the invariants checker
+// relies on to audit arbitrary states.
+func (o *Object) Primary() *Region { return o.primary }
+
+// Region returns the object's region on tier c, or nil.
+func (o *Object) Region(c Class) *Region { return o.regions[c] }
+
 // Stats counts the manager's data-movement activity.
 type Stats struct {
 	ObjectsCreated   int64
@@ -109,6 +135,11 @@ type Stats struct {
 	BytesWithinSlow  int64
 	Evictions        int64
 	DefragMoves      int64
+	// AllocRetries and CopyRetries count the bounded backoff steps taken
+	// against injected transient faults (always zero without a fault
+	// schedule).
+	AllocRetries int64
+	CopyRetries  int64
 }
 
 // Manager is the data manager: allocators over the two device heaps plus
@@ -127,6 +158,12 @@ type Manager struct {
 	stats    Stats
 	events   *EventLog
 	tracer   *tracing.Recorder
+	faults   *faults.Injector
+
+	// compacting is set while Defrag relocates regions: the allocator
+	// and the region index are transiently out of sync inside the move
+	// callback, so mid-operation invariant checks must stand down.
+	compacting bool
 }
 
 // New creates a manager over the platform's two devices using free-list
@@ -139,10 +176,24 @@ func New(p *memsim.Platform) *Manager {
 
 // NewWithAllocators creates a manager with caller-chosen allocators (e.g. a
 // buddy allocator for ablation studies). The allocators' capacities must
-// not exceed the devices'.
+// not exceed the devices'; violating that is a programming error and
+// panics. Callers wiring user-supplied configurations should prefer
+// NewWithAllocatorsE.
 func NewWithAllocators(p *memsim.Platform, fast, slow alloc.Allocator) *Manager {
+	m, err := NewWithAllocatorsE(p, fast, slow)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// NewWithAllocatorsE is NewWithAllocators' error-returning variant: an
+// allocator sized beyond its device is reported instead of panicking, for
+// callers assembling platforms from external configuration.
+func NewWithAllocatorsE(p *memsim.Platform, fast, slow alloc.Allocator) (*Manager, error) {
 	if fast.Capacity() > p.Fast.Capacity || slow.Capacity() > p.Slow.Capacity {
-		panic("dm: allocator capacity exceeds device capacity")
+		return nil, fmt.Errorf("dm: allocator capacity (fast %d, slow %d) exceeds device capacity (fast %d, slow %d)",
+			fast.Capacity(), slow.Capacity(), p.Fast.Capacity, p.Slow.Capacity)
 	}
 	m := &Manager{
 		devices: [NumClasses]*memsim.Device{p.Fast, p.Slow},
@@ -153,7 +204,30 @@ func NewWithAllocators(p *memsim.Platform, fast, slow alloc.Allocator) *Manager 
 	for c := range m.regionAt {
 		m.regionAt[c] = make(map[int64]*Region)
 	}
-	return m
+	return m, nil
+}
+
+// SetFaults installs a fault injector on the manager's hot paths. A nil
+// injector (the default) keeps every path on its fault-free branch, so
+// runs without a schedule stay byte-identical.
+func (m *Manager) SetFaults(f *faults.Injector) { m.faults = f }
+
+// Quiesced reports whether the manager's bookkeeping is internally
+// consistent right now: false while Defrag is relocating regions (the
+// allocator moves a block before the region index follows). Clock-advance
+// invariant audits stand down while not quiesced and catch up on the next
+// advance.
+func (m *Manager) Quiesced() bool { return !m.compacting }
+
+// ForEachObject visits every live object in unspecified order, stopping
+// early if fn returns false. The invariants checker audits the object
+// table through this.
+func (m *Manager) ForEachObject(fn func(*Object) bool) {
+	for _, o := range m.objects {
+		if !fn(o) {
+			return
+		}
+	}
 }
 
 // Device returns the memsim device backing a tier.
@@ -196,6 +270,11 @@ func (m *Manager) allocate(c Class, size int64, owner uint64) (*Region, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("dm: invalid region size %d", size)
 	}
+	if m.faults.Enabled() {
+		if err := m.preflightAlloc(c, size, owner); err != nil {
+			return nil, err
+		}
+	}
 	off, err := m.allocs[c].Alloc(size)
 	if err != nil {
 		return nil, err
@@ -205,6 +284,49 @@ func (m *Manager) allocate(c Class, size int64, owner uint64) (*Region, error) {
 	m.record(EvAlloc, owner, size, c, c)
 	m.tracer.DM(tracing.KindAlloc, owner, size, "", c.String())
 	return r, nil
+}
+
+// backoffWait advances virtual time by dt seconds between retries of an
+// injected fault: the retries are not free, they model a runtime waiting
+// out a device hiccup.
+func (m *Manager) backoffWait(dt float64) {
+	if m.copier != nil && m.copier.Clock != nil {
+		m.copier.Clock.Advance(dt)
+	}
+}
+
+// preflightAlloc consults the fault injector before touching the real
+// allocator. A transient alloc-fail episode is retried with exponential
+// backoff in virtual time and only surfaces as ErrFaultInjected once the
+// bounded budget is spent; a capacity-shrink episode withholds bytes from
+// the tier, so requests that no longer fit fail with ErrExhausted and the
+// policy evicts exactly as it would on a genuinely smaller device.
+func (m *Manager) preflightAlloc(c Class, size int64, owner uint64) error {
+	tier := c.String()
+	if m.faults.FailAlloc(tier, size) {
+		backoff := allocRetryBase
+		cleared := false
+		for try := 0; try < allocRetryMax; try++ {
+			m.stats.AllocRetries++
+			m.tracer.Retry("alloc", owner, backoff)
+			m.backoffWait(backoff)
+			backoff *= 2
+			if !m.faults.FailAlloc(tier, size) {
+				cleared = true
+				break
+			}
+		}
+		if !cleared {
+			return fmt.Errorf("dm: allocate %d bytes on %v: %w", size, c, ErrFaultInjected)
+		}
+	}
+	if w := m.faults.Withheld(tier); w > 0 {
+		if m.allocs[c].Used()+size > m.allocs[c].Capacity()-w {
+			m.faults.NoteShrinkReject(tier, size)
+			return ErrExhausted
+		}
+	}
+	return nil
 }
 
 // Free releases a region's heap space. The region must not be the primary
@@ -324,10 +446,47 @@ func (m *Manager) IsDirty(r *Region) bool { return r.dirty }
 
 // CopyTo copies src's bytes into dst (sizes must match) using the
 // high-bandwidth copy engine; it advances the virtual clock and returns the
-// elapsed time. dst is marked clean: it now holds a faithful copy.
+// elapsed time. dst is marked clean: it now holds a faithful copy. It
+// panics where CopyToE would error; fault-aware policies use CopyToE.
 func (m *Manager) CopyTo(dst, src *Region) float64 {
+	t, err := m.CopyToE(dst, src)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t
+}
+
+// CopyToE is CopyTo's error-returning variant: a size mismatch is reported
+// as an error instead of a panic, and an injected transient copy-engine
+// fault is retried with exponential backoff in virtual time before
+// surfacing as ErrFaultInjected. On success it returns the elapsed time.
+func (m *Manager) CopyToE(dst, src *Region) (float64, error) {
 	if dst.size != src.size {
-		panic(fmt.Sprintf("dm: copyto size mismatch: dst %d, src %d", dst.size, src.size))
+		return 0, fmt.Errorf("dm: copyto size mismatch: dst %d, src %d", dst.size, src.size)
+	}
+	var owner uint64
+	if src.obj != nil {
+		owner = src.obj.id
+	} else if dst.obj != nil {
+		owner = dst.obj.id
+	}
+	if m.faults.Enabled() && m.faults.FailCopy() {
+		backoff := copyRetryBase
+		cleared := false
+		for try := 0; try < copyRetryMax; try++ {
+			m.stats.CopyRetries++
+			m.tracer.Retry("copy", owner, backoff)
+			m.backoffWait(backoff)
+			backoff *= 2
+			if !m.faults.FailCopy() {
+				cleared = true
+				break
+			}
+		}
+		if !cleared {
+			return 0, fmt.Errorf("dm: copyto %d bytes %v->%v: %w",
+				src.size, src.class, dst.class, ErrFaultInjected)
+		}
 	}
 	t := m.copier.Copy(m.devices[dst.class], dst.offset, m.devices[src.class], src.offset, src.size)
 	m.stats.Copies++
@@ -342,12 +501,6 @@ func (m *Manager) CopyTo(dst, src *Region) float64 {
 		m.stats.BytesWithinSlow += src.size
 	}
 	dst.dirty = false
-	var owner uint64
-	if src.obj != nil {
-		owner = src.obj.id
-	} else if dst.obj != nil {
-		owner = dst.obj.id
-	}
 	m.record(EvCopy, owner, src.size, src.class, dst.class)
 	if m.tracer.Enabled() {
 		// Synchronously the copy just finished at now; asynchronously
@@ -360,7 +513,7 @@ func (m *Manager) CopyTo(dst, src *Region) float64 {
 		}
 		m.tracer.Copy(owner, src.size, src.class.String(), dst.class.String(), t0, t1)
 	}
-	return t
+	return t, nil
 }
 
 // RegionAt returns the region occupying the heap block at offset on tier c,
@@ -532,6 +685,8 @@ func (m *Manager) Defrag(c Class) {
 		return
 	}
 	dev := m.devices[c]
+	m.compacting = true
+	defer func() { m.compacting = false }()
 	comp.Compact(func(old, new, size int64) {
 		r, ok := m.regionAt[c][old]
 		if !ok {

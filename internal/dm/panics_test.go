@@ -1,0 +1,122 @@
+package dm
+
+import (
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/units"
+)
+
+// These tests pin down the outcome of the panic audit: conditions only a
+// buggy caller can create still panic loudly, while conditions the
+// environment can produce (user-supplied configurations, injected faults)
+// surface as errors through the E-suffixed variants, which their
+// panicking wrappers merely re-raise.
+
+func TestCopyToESizeMismatchIsAnError(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	m := New(p)
+	a, _ := m.Allocate(Fast, 128)
+	b, _ := m.Allocate(Slow, 256)
+	if _, err := m.CopyToE(b, a); err == nil || !strings.Contains(err.Error(), "size") {
+		t.Fatalf("CopyToE size mismatch = %v, want size error", err)
+	}
+	// The failed copy must not have perturbed any accounting.
+	if m.Stats().Copies != 0 {
+		t.Fatalf("failed copy was counted: %+v", m.Stats())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	m.Free(a)
+	m.Free(b)
+}
+
+func TestNewWithAllocatorsERejectsOversizedHeap(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	fast := alloc.NewFreeList(2*units.MB, alloc.FirstFit) // larger than the device
+	slow := alloc.NewFreeList(units.MB, alloc.FirstFit)
+	if _, err := NewWithAllocatorsE(p, fast, slow); err == nil ||
+		!strings.Contains(err.Error(), "exceeds device capacity") {
+		t.Fatalf("NewWithAllocatorsE = %v, want capacity error", err)
+	}
+	// The legacy constructor keeps its panicking contract for wired-in
+	// configurations.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithAllocators accepted an oversized allocator")
+		}
+	}()
+	NewWithAllocators(p, fast, slow)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{FastCapacity: units.MB, SlowCapacity: units.MB})
+	m := New(p)
+	r, _ := m.Allocate(Fast, 64)
+	m.Free(r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	m.Free(r)
+}
+
+func TestObjectAccessorsDoNotPanic(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	m := New(p)
+	o, err := m.NewObject(64, Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Primary() != m.GetPrimary(o) {
+		t.Fatal("Primary() disagrees with GetPrimary")
+	}
+	if o.Region(Fast) != o.Primary() {
+		t.Fatal("Region(Fast) is not the primary for a fast-born object")
+	}
+	if o.Region(Slow) != nil {
+		t.Fatal("Region(Slow) non-nil without a slow copy")
+	}
+	// Unlike GetPrimary, the inspection accessors stay safe on retired
+	// objects — the invariants checker walks the object table with them.
+	m.DestroyObject(o)
+	if o.Primary() != nil || o.Region(Fast) != nil {
+		t.Fatal("retired object still exposes regions")
+	}
+}
+
+func TestForEachObjectVisitsLiveObjectsAndStopsEarly(t *testing.T) {
+	p := memsim.NewPlatform(memsim.PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	m := New(p)
+	var objs []*Object
+	for i := 0; i < 4; i++ {
+		o, err := m.NewObject(64, Fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	m.DestroyObject(objs[1])
+	seen := 0
+	m.ForEachObject(func(o *Object) bool { seen++; return true })
+	if seen != 3 {
+		t.Fatalf("visited %d objects, want 3 live", seen)
+	}
+	seen = 0
+	m.ForEachObject(func(o *Object) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("early stop visited %d objects, want 1", seen)
+	}
+}

@@ -5,7 +5,9 @@ import (
 
 	"cachedarrays/internal/alloc"
 	"cachedarrays/internal/dm"
+	"cachedarrays/internal/faults"
 	"cachedarrays/internal/gcsim"
+	"cachedarrays/internal/invariants"
 	"cachedarrays/internal/memsim"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/policy"
@@ -148,6 +150,27 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		m.SetTracer(tr)
 		pol.SetTracer(tr)
 		gc.SetTracer(tr)
+	}
+	// The fault injector threads through the same layers as the tracer and
+	// follows the same discipline: absent a schedule, every hook stays nil
+	// and the run is byte-identical to an uninstrumented build.
+	var inj *faults.Injector
+	if cfg.FaultSpec != "" {
+		fsched, err := faults.Parse(cfg.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		inj = faults.New(fsched, p.Clock.Now)
+		inj.SetTracer(tr)
+		p.Fast.Faults = inj
+		p.Slow.Faults = inj
+		p.Copier.Faults = inj
+		m.SetFaults(inj)
+	}
+	var chk *invariants.Checker
+	if cfg.CheckEveryAdvance {
+		chk = invariants.New(m, p).WithPolicy(pol)
+		chk.Attach()
 	}
 	objs := make([]*dm.Object, len(model.Tensors))
 
@@ -354,6 +377,16 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 				return nil, fmt.Errorf("engine: %d transient objects leaked after iter %d", live, iter)
 			}
 		}
+		if chk != nil {
+			if err := chk.Err(); err != nil {
+				return nil, fmt.Errorf("engine: during iter %d: %w", iter, err)
+			}
+			// The iteration boundary is a quiesce point: every region
+			// must be bound and the policy accounting exact.
+			if err := chk.CheckQuiesced(); err != nil {
+				return nil, fmt.Errorf("engine: after iter %d: %w", iter, err)
+			}
+		}
 		m.Defrag(dm.Fast)
 		m.Defrag(dm.Slow)
 	}
@@ -361,6 +394,13 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 	res.Policy = pol.Stats()
 	res.DM = m.Stats()
 	res.GC = gc.Stats()
+	res.Faults = inj.Stats()
+	if chk != nil {
+		res.InvariantChecks = chk.Checks()
+		if err := chk.Err(); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
 	if events != nil {
 		res.Events = events.Events()
 	}

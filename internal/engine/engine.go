@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"cachedarrays/internal/dm"
+	"cachedarrays/internal/faults"
 	"cachedarrays/internal/gcsim"
 	"cachedarrays/internal/memsim"
 	"cachedarrays/internal/models"
@@ -70,6 +71,17 @@ type Config struct {
 	// CheckInvariants validates the full state machine after every
 	// iteration (tests; cheap relative to the simulation itself).
 	CheckInvariants bool
+	// CheckEveryAdvance attaches the invariants checker to the virtual
+	// clock: the platform/state-machine audit runs at every point
+	// simulated time moves (carun -check, fuzzing). Much more expensive
+	// than CheckInvariants; off by default.
+	CheckEveryAdvance bool
+	// FaultSpec, when non-empty, is a faults.Parse schedule injected into
+	// the run: transient fast-tier allocation failures, copy-engine
+	// stalls/errors, bandwidth-collapse episodes and capacity shrinks.
+	// Empty (the default) wires no injector, keeping runs byte-identical
+	// to builds without the fault layer (CachedArrays runs only).
+	FaultSpec string
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +167,13 @@ type Result struct {
 	Policy policy.Stats
 	DM     dm.Stats
 	GC     gcsim.Stats
+
+	// Faults aggregates the injector's activity when Config.FaultSpec was
+	// set (zero otherwise).
+	Faults faults.Stats
+	// InvariantChecks counts the audits run when Config.CheckEveryAdvance
+	// was set.
+	InvariantChecks int64
 
 	// Events holds the tail of the data-manager event log when
 	// Config.TraceEvents was set (CachedArrays runs only).

@@ -1,0 +1,320 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulator: a seeded, schedule-driven injector that perturbs the virtual
+// platform the way real heterogeneous-memory deployments are perturbed —
+// fast-tier allocations that transiently fail under pressure, copy-engine
+// stalls and errors, episodic NVRAM bandwidth collapse, and mid-run loss of
+// fast-tier capacity.
+//
+// The injector follows the same discipline as the tracing recorder: a nil
+// *Injector is valid and injects nothing, so every instrumented hot path
+// pays exactly one predictable branch when fault injection is off, and a
+// run with no fault schedule is byte-identical to a run built before this
+// package existed.
+//
+// Determinism is the point: the simulation is single-goroutine and all
+// randomness comes from one seeded source, so the same schedule and seed
+// reproduce the same faults at the same virtual times, which makes failure
+// paths regression-testable and fuzzable.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"cachedarrays/internal/tracing"
+)
+
+// ErrInjected marks a transient failure the injector produced after the
+// victim exhausted its retry budget. Callers distinguish it from genuine
+// capacity exhaustion: evicting will not cure it, waiting might.
+var ErrInjected = errors.New("faults: injected transient failure")
+
+// Kind enumerates the fault classes the injector can produce.
+type Kind int
+
+const (
+	// AllocFail makes allocations on the targeted tier transiently fail.
+	AllocFail Kind = iota
+	// CopyError makes data-manager copies transiently fail (the victim
+	// retries with backoff in virtual time).
+	CopyError
+	// CopyStall adds a fixed stall to copy-engine transfers (a device
+	// briefly hiccuping without erroring).
+	CopyStall
+	// Bandwidth collapses a device's effective bandwidth to a fraction of
+	// nominal for the episode's duration.
+	Bandwidth
+	// CapacityShrink withholds bytes from a tier's heap: allocations that
+	// would push occupancy past the reduced capacity fail with the same
+	// exhaustion error a full tier produces, so policies respond by
+	// evicting.
+	CapacityShrink
+)
+
+func (k Kind) String() string {
+	switch k {
+	case AllocFail:
+		return "alloc-fail"
+	case CopyError:
+		return "copy-error"
+	case CopyStall:
+		return "copy-stall"
+	case Bandwidth:
+		return "bw-collapse"
+	case CapacityShrink:
+		return "cap-shrink"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Episode is one scheduled fault: a kind, a virtual-time window and the
+// kind-specific parameters.
+type Episode struct {
+	Kind Kind
+	// T0 and T1 bound the episode in virtual seconds: active while
+	// T0 <= now < T1. T1 <= 0 means open-ended (active from T0 on).
+	T0, T1 float64
+	// Target restricts the episode: a tier name ("fast", "slow") for
+	// AllocFail and CapacityShrink, a device name ("dram", "nvram",
+	// "cxl") for Bandwidth and CopyStall. Empty matches everything.
+	Target string
+	// Prob is the per-opportunity injection probability for AllocFail,
+	// CopyError and CopyStall. 0 means 1 (always).
+	Prob float64
+	// Factor is the remaining bandwidth fraction for Bandwidth episodes
+	// (0.1 = the device runs at a tenth of nominal speed).
+	Factor float64
+	// Stall is the extra seconds a CopyStall episode adds per transfer.
+	Stall float64
+	// Bytes is the capacity a CapacityShrink episode withholds.
+	Bytes int64
+}
+
+// active reports whether the episode covers virtual time now.
+func (e *Episode) active(now float64) bool {
+	if now < e.T0 {
+		return false
+	}
+	return e.T1 <= 0 || now < e.T1
+}
+
+// matches reports whether the episode applies to the named target.
+func (e *Episode) matches(target string) bool {
+	return e.Target == "" || e.Target == target
+}
+
+// Schedule is a fault plan: a seed plus the episode list. The zero value
+// is an empty schedule (an injector built from it never fires).
+type Schedule struct {
+	Seed     int64
+	Episodes []Episode
+}
+
+// Stats counts what the injector actually did to the run.
+type Stats struct {
+	AllocFailures int64 // allocation attempts it failed
+	CopyErrors    int64 // copy attempts it failed
+	CopyStalls    int64 // transfers it stalled
+	StallSeconds  float64
+	ThrottleHits  int64 // device time queries scaled by a bandwidth collapse
+	ShrinkRejects int64 // allocations rejected by withheld capacity
+}
+
+// Total returns the number of discrete fault injections (throttle hits are
+// continuous, not discrete, and are excluded).
+func (s Stats) Total() int64 {
+	return s.AllocFailures + s.CopyErrors + s.CopyStalls + s.ShrinkRejects
+}
+
+// Injector evaluates a schedule against the virtual clock. All methods are
+// nil-safe no-ops so disabled injection costs one branch per site.
+type Injector struct {
+	sched Schedule
+	now   func() float64
+	rng   *rand.Rand
+	stats Stats
+	tr    *tracing.Recorder
+	// fired marks episodes that have already announced themselves in the
+	// trace, so continuous faults (bandwidth, shrink) emit one event per
+	// episode instead of one per query.
+	fired []bool
+}
+
+// New builds an injector over a schedule, reading virtual time from now
+// (typically memsim's Clock.Now).
+func New(s Schedule, now func() float64) *Injector {
+	return &Injector{
+		sched: s,
+		now:   now,
+		rng:   rand.New(rand.NewSource(s.Seed)),
+		fired: make([]bool, len(s.Episodes)),
+	}
+}
+
+// Enabled reports whether the injector exists (nil-safe).
+func (i *Injector) Enabled() bool { return i != nil }
+
+// Stats returns a snapshot of the injection counters.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return i.stats
+}
+
+// SetTracer attaches an execution-trace recorder: every discrete injection
+// (and the first hit of each continuous episode) appears as a fault event,
+// so catrace can attribute the victim's retries and fallbacks to their
+// faults.
+func (i *Injector) SetTracer(tr *tracing.Recorder) {
+	if i == nil {
+		return
+	}
+	i.tr = tr
+}
+
+// roll draws the seeded source against an episode probability.
+func (i *Injector) roll(p float64) bool {
+	if p <= 0 || p >= 1 {
+		return true
+	}
+	return i.rng.Float64() < p
+}
+
+// announce emits the trace event for an injection; once marks episodes
+// that should announce only their first hit.
+func (i *Injector) announce(idx int, op string, bytes int64, dur float64, once bool) {
+	if once {
+		if i.fired[idx] {
+			return
+		}
+		i.fired[idx] = true
+	}
+	i.tr.Fault(op, bytes, dur)
+}
+
+// FailAlloc reports whether an allocation of size bytes on the named tier
+// should transiently fail right now.
+func (i *Injector) FailAlloc(tier string, size int64) bool {
+	if i == nil {
+		return false
+	}
+	now := i.now()
+	for idx := range i.sched.Episodes {
+		e := &i.sched.Episodes[idx]
+		if e.Kind != AllocFail || !e.active(now) || !e.matches(tier) {
+			continue
+		}
+		if i.roll(e.Prob) {
+			i.stats.AllocFailures++
+			i.announce(idx, Kind(AllocFail).String(), size, 0, false)
+			return true
+		}
+	}
+	return false
+}
+
+// FailCopy reports whether a copy attempt should transiently fail now.
+func (i *Injector) FailCopy() bool {
+	if i == nil {
+		return false
+	}
+	now := i.now()
+	for idx := range i.sched.Episodes {
+		e := &i.sched.Episodes[idx]
+		if e.Kind != CopyError || !e.active(now) {
+			continue
+		}
+		if i.roll(e.Prob) {
+			i.stats.CopyErrors++
+			i.announce(idx, Kind(CopyError).String(), 0, 0, false)
+			return true
+		}
+	}
+	return false
+}
+
+// CopyStall returns the extra seconds to add to a transfer writing to the
+// named device (0 when no stall episode fires).
+func (i *Injector) CopyStall(device string) float64 {
+	if i == nil {
+		return 0
+	}
+	now := i.now()
+	var total float64
+	for idx := range i.sched.Episodes {
+		e := &i.sched.Episodes[idx]
+		if e.Kind != CopyStall || !e.active(now) || !e.matches(device) || e.Stall <= 0 {
+			continue
+		}
+		if i.roll(e.Prob) {
+			i.stats.CopyStalls++
+			i.stats.StallSeconds += e.Stall
+			i.announce(idx, Kind(CopyStall).String(), 0, e.Stall, false)
+			total += e.Stall
+		}
+	}
+	return total
+}
+
+// TimeScale returns the factor (>= 1) by which the named device's access
+// times are currently inflated by bandwidth-collapse episodes.
+func (i *Injector) TimeScale(device string) float64 {
+	if i == nil {
+		return 1
+	}
+	now := i.now()
+	scale := 1.0
+	for idx := range i.sched.Episodes {
+		e := &i.sched.Episodes[idx]
+		if e.Kind != Bandwidth || !e.active(now) || !e.matches(device) {
+			continue
+		}
+		f := e.Factor
+		if f <= 0 || f > 1 {
+			continue
+		}
+		scale /= f
+		i.stats.ThrottleHits++
+		i.announce(idx, Kind(Bandwidth).String(), 0, 0, true)
+	}
+	return scale
+}
+
+// Withheld returns the bytes currently withheld from the named tier's heap
+// by capacity-shrink episodes.
+func (i *Injector) Withheld(tier string) int64 {
+	if i == nil {
+		return 0
+	}
+	now := i.now()
+	var total int64
+	for idx := range i.sched.Episodes {
+		e := &i.sched.Episodes[idx]
+		if e.Kind != CapacityShrink || !e.active(now) || !e.matches(tier) {
+			continue
+		}
+		total += e.Bytes
+	}
+	return total
+}
+
+// NoteShrinkReject records that withheld capacity rejected an allocation
+// (called by the data manager, which is where the rejection decision
+// lives).
+func (i *Injector) NoteShrinkReject(tier string, size int64) {
+	if i == nil {
+		return
+	}
+	i.stats.ShrinkRejects++
+	now := i.now()
+	for idx := range i.sched.Episodes {
+		e := &i.sched.Episodes[idx]
+		if e.Kind == CapacityShrink && e.active(now) && e.matches(tier) {
+			i.announce(idx, Kind(CapacityShrink).String(), size, 0, true)
+			return
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package invariants_test
+
+import (
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/invariants"
+	"cachedarrays/internal/memsim"
+)
+
+func testPlatform() *memsim.Platform {
+	clock := &memsim.Clock{}
+	return &memsim.Platform{
+		Clock:   clock,
+		Fast:    memsim.NewDevice("fast", memsim.DRAM, 1<<20, memsim.DRAMProfile()),
+		Slow:    memsim.NewDevice("slow", memsim.NVRAM, 4<<20, memsim.NVRAMProfile()),
+		Copier:  memsim.NewCopyEngine(clock, 4),
+		Compute: memsim.DefaultCompute(),
+	}
+}
+
+func TestHealthyRunPasses(t *testing.T) {
+	p := testPlatform()
+	m := dm.New(p)
+	chk := invariants.New(m, p)
+	chk.Attach()
+
+	o, err := m.NewObject(64<<10, dm.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.Allocate(dm.Slow, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CopyToE(y, m.GetPrimary(o)); err != nil { // advances the clock -> audits
+		t.Fatal(err)
+	}
+	if err := m.Link(m.GetPrimary(o), y); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if chk.Checks() == 0 {
+		t.Fatal("attached checker never audited despite clock advances")
+	}
+	if err := chk.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsLeakedRegionAtQuiesce(t *testing.T) {
+	p := testPlatform()
+	m := dm.New(p)
+	chk := invariants.New(m, p)
+
+	r, err := m.Allocate(dm.Fast, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-operation, an unbound region is legal (its bytes are in
+	// flight)...
+	if err := chk.Check(); err != nil {
+		t.Fatalf("mid-operation check rejected a transient unbound region: %v", err)
+	}
+	// ...but at a quiesce point it is a leak.
+	err = chk.CheckQuiesced()
+	if err == nil || !strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("CheckQuiesced = %v, want leaked-region violation", err)
+	}
+	m.Free(r)
+	if err := chk.CheckQuiesced(); err != nil {
+		t.Fatalf("after freeing the leak: %v", err)
+	}
+}
+
+func TestDetectsClockRunningBackwards(t *testing.T) {
+	p := testPlatform()
+	m := dm.New(p)
+	chk := invariants.New(m, p)
+
+	p.Clock.Advance(1.0)
+	if err := chk.Check(); err != nil {
+		t.Fatal(err)
+	}
+	p.Clock.Reset() // rewinds time under the checker's feet
+	err := chk.Check()
+	if err == nil || !strings.Contains(err.Error(), "backwards") {
+		t.Fatalf("Check = %v, want clock-ran-backwards violation", err)
+	}
+}
+
+func TestAttachedCheckerRecordsFirstViolationWithTimestamp(t *testing.T) {
+	p := testPlatform()
+	m := dm.New(p)
+	chk := invariants.New(m, p)
+	chk.Attach()
+
+	p.Clock.Advance(2.0)
+	if err := chk.Err(); err != nil {
+		t.Fatal(err)
+	}
+	p.Clock.Reset()
+	p.Clock.Advance(0.5) // now < lastNow: caught by the hook
+	err := chk.Err()
+	if err == nil || !strings.Contains(err.Error(), "at t=") {
+		t.Fatalf("Err = %v, want timestamped violation", err)
+	}
+	before := chk.Checks()
+	p.Clock.Advance(0.25) // checker stands down after the first violation
+	if chk.Checks() != before {
+		t.Fatal("checker kept auditing after recording a violation")
+	}
+	chk.Detach()
+	if p.Clock.OnAdvance != nil {
+		t.Fatal("Detach left the clock hook installed")
+	}
+}

@@ -1,0 +1,21 @@
+package invariants_test
+
+import "testing"
+
+func TestFuzzWorstCaseBudget(t *testing.T) {
+	data := make([]byte, 2+512)
+	data[0], data[1] = 255, 255
+	for i := 2; i < len(data); i += 2 {
+		switch (i / 2) % 4 {
+		case 0:
+			data[i], data[i+1] = 0, 0 // alloc 256B
+		case 1:
+			data[i], data[i+1] = 2, byte(i) // willwrite
+		case 2:
+			data[i], data[i+1] = 0, 255 // alloc 25KB
+		case 3:
+			data[i], data[i+1] = 1, byte(i) // willread
+		}
+	}
+	runHintSequence(t, data)
+}

@@ -23,6 +23,13 @@ type Clock struct {
 	// Tracer, when non-nil, records every advance into the execution
 	// trace. A nil tracer costs one branch per advance.
 	Tracer *tracing.Recorder
+
+	// OnAdvance, when non-nil, runs after every advance with the new time
+	// and the step size. The invariant checker hooks here to audit the
+	// whole runtime state machine at every point virtual time moves; a
+	// nil hook costs one branch per advance, the same discipline as the
+	// tracer.
+	OnAdvance func(now, dt float64)
 }
 
 // Now returns the current virtual time in seconds.
@@ -37,6 +44,9 @@ func (c *Clock) Advance(dt float64) {
 	}
 	c.now += dt
 	c.Tracer.ClockAdvance(c.now, dt)
+	if c.OnAdvance != nil {
+		c.OnAdvance(c.now, dt)
+	}
 }
 
 // Reset rewinds the clock to zero. Experiments reuse one platform across

@@ -3,6 +3,7 @@ package memsim
 import (
 	"fmt"
 
+	"cachedarrays/internal/faults"
 	"cachedarrays/internal/tracing"
 )
 
@@ -42,6 +43,11 @@ type CopyEngine struct {
 	// Tracer, when non-nil, records every transfer (with its stream
 	// shapes and the mover's queue state) into the execution trace.
 	Tracer *tracing.Recorder
+
+	// Faults, when non-nil, lets copy-stall episodes add transient delay
+	// to transfers (a device hiccuping without erroring). Nil costs one
+	// branch per copy.
+	Faults *faults.Injector
 
 	// busyUntil is the virtual time at which the asynchronous mover
 	// finishes its queued work.
@@ -157,6 +163,9 @@ func (e *CopyEngine) Copy(dst *Device, dstOff int64, src *Device, srcOff int64, 
 		t = wt
 	}
 	t += e.LaunchOverhead
+	if e.Faults != nil {
+		t += e.Faults.CopyStall(dst.Name)
+	}
 	if e.Async {
 		// Queue on the mover timeline; the application thread does
 		// not stall. The region state machine updates immediately

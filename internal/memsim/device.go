@@ -1,6 +1,10 @@
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"cachedarrays/internal/faults"
+)
 
 // Kind identifies the technology class of a memory device.
 type Kind int
@@ -161,6 +165,12 @@ type Device struct {
 	Capacity int64
 	Profile  BandwidthProfile
 
+	// Faults, when non-nil, lets bandwidth-collapse episodes inflate the
+	// device's access times for their duration. Nil (the default) costs
+	// one branch per time computation, so fault-free runs are
+	// byte-identical to an uninstrumented device.
+	Faults *faults.Injector
+
 	counters Counters
 	backing  []byte
 }
@@ -212,7 +222,11 @@ func (d *Device) ReadTime(n int64, a Access) float64 {
 	if n <= 0 {
 		return 0
 	}
-	return float64(n) / d.Profile.ReadBandwidth(a)
+	t := float64(n) / d.Profile.ReadBandwidth(a)
+	if d.Faults != nil {
+		t *= d.Faults.TimeScale(d.Name)
+	}
+	return t
 }
 
 // WriteTime is ReadTime's write-side counterpart.
@@ -220,7 +234,11 @@ func (d *Device) WriteTime(n int64, a Access) float64 {
 	if n <= 0 {
 		return 0
 	}
-	return float64(n) / d.Profile.WriteBandwidth(a)
+	t := float64(n) / d.Profile.WriteBandwidth(a)
+	if d.Faults != nil {
+		t *= d.Faults.TimeScale(d.Name)
+	}
+	return t
 }
 
 // Read records n bytes of read traffic and returns the time it took.

@@ -7,6 +7,7 @@ package policy
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 
 	"cachedarrays/internal/dm"
@@ -138,6 +139,11 @@ type Stats struct {
 	FetchFailures    int64 // could not make room in fast memory
 	GCTriggers       int64
 	Defrags          int64 // on-demand compactions to cure fragmentation
+	// FallbackAllocs counts allocations that wanted fast memory but were
+	// placed in slow memory because the fast tier's allocator reported an
+	// injected transient fault (evicting would not have cured it). Always
+	// zero without a fault schedule.
+	FallbackAllocs int64
 }
 
 // objState is the policy's per-object bookkeeping, stored in the object's
@@ -244,15 +250,25 @@ func (p *Tiered) NewObject(size int64) (*dm.Object, error) {
 	p.tr.SetHint("alloc")
 	defer p.tr.SetHint("")
 	if p.cfg.LocalAlloc {
-		if o, err := p.m.NewObject(size, dm.Fast); err == nil {
+		o, err := p.m.NewObject(size, dm.Fast)
+		if err == nil {
 			p.stats.FastAllocs++
 			p.trackFast(o)
 			return o, nil
-		} else if err != dm.ErrExhausted {
+		}
+		faulted := errors.Is(err, dm.ErrFaultInjected)
+		if !faulted && !errors.Is(err, dm.ErrExhausted) {
 			return nil, err
 		}
-		// Fast tier full: make room, then retry once.
-		if p.makeRoomInFast(size) {
+		if faulted {
+			// The fast allocator is transiently faulted (the manager
+			// already spent its retry budget); evicting cannot cure
+			// that, so degrade to slow-tier placement instead of
+			// failing the allocation.
+			p.stats.FallbackAllocs++
+			p.tr.Decision("fallback-slow", 0, size)
+		} else if p.makeRoomInFast(size) {
+			// Fast tier full: make room, then retry once.
 			if o, err := p.m.NewObject(size, dm.Fast); err == nil {
 				p.stats.FastAllocs++
 				p.trackFast(o)
@@ -408,7 +424,17 @@ func (p *Tiered) Evict(o *dm.Object) error {
 		allocated = true
 	}
 	if p.m.IsDirty(x) || allocated {
-		p.m.CopyTo(y, x)
+		if _, err := p.m.CopyToE(y, x); err != nil {
+			// Writeback failed past the manager's retry budget: abandon
+			// the eviction, leaving the object resident in fast memory.
+			// A freshly allocated (still unbound) slow region is
+			// released; a pre-existing linked secondary stays linked.
+			if allocated {
+				p.m.Free(y)
+			}
+			p.tr.Decision("evict-abandoned", o.ID(), sz)
+			return fmt.Errorf("policy: evict of object %d: %w", o.ID(), err)
+		}
 	} else {
 		p.stats.ElidedWritebacks++
 		p.tr.Decision("elide-writeback", o.ID(), sz)
@@ -462,7 +488,16 @@ func (p *Tiered) Prefetch(o *dm.Object, force bool) bool {
 		p.tr.Decision("fetch-failure", o.ID(), sz)
 		return false
 	}
-	p.m.CopyTo(y, x)
+	if _, err := p.m.CopyToE(y, x); err != nil {
+		// Fetch copy failed past the manager's retry budget: release the
+		// fresh (unbound) fast region and serve the object where it is.
+		// NVRAM reads in place are slower but correct — this is the
+		// graceful form of a fetch failure.
+		p.m.Free(y)
+		p.stats.FetchFailures++
+		p.tr.Decision("fetch-failure", o.ID(), sz)
+		return false
+	}
 	if err := p.m.Link(x, y); err != nil {
 		panic(fmt.Sprintf("policy: link after prefetch: %v", err))
 	}

@@ -1,0 +1,94 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validProfile reports whether path holds a non-empty gzipped pprof
+// profile (the pprof wire format is always gzip-framed: 0x1f 0x8b).
+func validProfile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("%s: %d bytes, not a gzipped pprof profile", path, len(data))
+	}
+}
+
+func TestNoopWhenBothPathsEmpty(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 1.0
+	for i := 0; i < 1<<20; i++ {
+		x = x*1.0000001 + float64(i%7)
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	validProfile(t, path)
+}
+
+func TestHeapProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	validProfile(t, path)
+}
+
+func TestBothProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	validProfile(t, cpu)
+	validProfile(t, mem)
+}
+
+func TestUnwritableCPUPathFailsEarly(t *testing.T) {
+	stop, err := Start(filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof"), "")
+	if err == nil {
+		stop()
+		t.Fatal("Start succeeded with an unwritable CPU profile path")
+	}
+}
+
+func TestUnwritableMemPathFailsAtStop(t *testing.T) {
+	// The heap path is only opened at stop time; the error must surface
+	// there, after a successful Start.
+	stop, err := Start("", filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("stop succeeded with an unwritable heap profile path")
+	}
+}

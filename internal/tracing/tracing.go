@@ -81,6 +81,15 @@ const (
 	KindGC Kind = "gc"
 	// KindIter: one training-iteration span.
 	KindIter Kind = "iter"
+	// KindFault: the fault injector fired. Op names the fault
+	// (alloc-fail, copy-error, copy-stall, bw-collapse, cap-shrink),
+	// Bytes the affected size and Dur any injected stall; continuous
+	// faults (bw-collapse, cap-shrink) announce once per episode.
+	// KindRetry: a victim's bounded retry/backoff step in virtual time;
+	// Op is the retried operation (alloc-retry, copy-retry), Dur the
+	// backoff it waited.
+	KindFault Kind = "fault"
+	KindRetry Kind = "retry"
 	// KindTotals: the trailing aggregate record Verify checks against.
 	KindTotals Kind = "totals"
 )
@@ -319,6 +328,24 @@ func (r *Recorder) Bind(obj uint64, name string, bytes int64) {
 		return
 	}
 	r.emit(Event{Kind: KindBind, Obj: obj, Op: name, Bytes: bytes})
+}
+
+// Fault records one fault-injector firing (with the hint being serviced as
+// its cause, so the fault is attributable to the decision it perturbed).
+func (r *Recorder) Fault(op string, bytes int64, dur float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindFault, Op: op, Bytes: bytes, Dur: dur, Cause: r.hint})
+}
+
+// Retry records one bounded retry/backoff step a victim took in response
+// to an injected fault.
+func (r *Recorder) Retry(op string, obj uint64, backoff float64) {
+	if r == nil {
+		return
+	}
+	r.emit(Event{Kind: KindRetry, Op: op, Obj: obj, Dur: backoff, Cause: r.hint})
 }
 
 // GC records a collection pause.
