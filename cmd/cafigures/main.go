@@ -21,6 +21,7 @@ import (
 	"cachedarrays/internal/experiments"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/profiling"
+	"cachedarrays/internal/runcfg"
 )
 
 func main() {
@@ -33,11 +34,16 @@ func main() {
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	shared := runcfg.Register(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprof, *memprof)
 	fatal(err)
 	defer func() { fatal(stopProf()) }()
+
+	sess, err := shared.Start(true, os.Stdout)
+	fatal(err)
+	defer sess.Close()
 
 	want := map[string]bool{}
 	if *only == "" {
@@ -49,7 +55,7 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(k))] = true
 		}
 	}
-	opts := experiments.Options{Iterations: *iters, Scale: *scale, Parallel: *parallel}
+	opts := experiments.Options{Iterations: *iters, Scale: *scale, Parallel: *parallel, Instrument: sess.Apply}
 
 	emit := func(name string, tab *experiments.Table) {
 		if *outdir == "" {

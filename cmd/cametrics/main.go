@@ -1,0 +1,252 @@
+// Command cametrics inspects and compares the metrics exports of carun,
+// casweep and cafigures.
+//
+//	cametrics show run.csv          # sparkline per series from a wide CSV
+//	cametrics show run.json         # statistics table from a JSON summary
+//	cametrics diff base.json cur.json           # compare two runs
+//	cametrics diff -rel 0.05 base.json cur.json # 5% regression threshold
+//
+// diff exits nonzero when any per-series statistic moved by more than the
+// relative threshold — the CI regression gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"cachedarrays/internal/metrics"
+)
+
+func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage:
+  cametrics show <run.csv | run.json>
+  cametrics diff [-rel <frac>] <base.json> <cur.json>
+`
+
+// cliMain is the testable entry point; it returns the process exit code
+// (0 ok / no deltas, 1 deltas found or run error, 2 usage error).
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	switch args[0] {
+	case "show":
+		return cmdShow(args[1:], stdout, stderr)
+	case "diff":
+		return cmdDiff(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "cametrics: unknown command %q\n%s", args[0], usage)
+		return 2
+	}
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "cametrics:", err)
+	return 1
+}
+
+// cmdShow renders one run: sparklines from a CSV time series, a
+// statistics table from a JSON summary.
+func cmdShow(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cametrics show", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		s, err := metrics.ReadSummary(f)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		showSummary(stdout, s)
+		return 0
+	}
+	ts, err := metrics.ReadCSV(f)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	showSeries(stdout, ts)
+	return 0
+}
+
+// sparkTicks are the eight block-element levels of a sparkline.
+var sparkTicks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values into width cells, each the mean of its span,
+// scaled to the series' own min..max range.
+func sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width > len(values) {
+		width = len(values)
+	}
+	cells := make([]float64, width)
+	for i := range cells {
+		lo, hi := i*len(values)/width, (i+1)*len(values)/width
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		cells[i] = sum / float64(hi-lo)
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range cells {
+		min, max = math.Min(min, v), math.Max(max, v)
+	}
+	var b strings.Builder
+	for _, v := range cells {
+		tick := 0
+		if max > min {
+			tick = int((v - min) / (max - min) * float64(len(sparkTicks)-1))
+		}
+		b.WriteRune(sparkTicks[tick])
+	}
+	return b.String()
+}
+
+// showSeries prints one sparkline row per series of a CSV export.
+func showSeries(w io.Writer, ts *metrics.TimeSeries) {
+	if len(ts.Times) == 0 {
+		fmt.Fprintln(w, "no samples")
+		return
+	}
+	fmt.Fprintf(w, "%d samples, t = %g .. %g\n\n", len(ts.Times), ts.Times[0], ts.Times[len(ts.Times)-1])
+	nameW := 0
+	for _, n := range ts.Names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for _, n := range ts.Names {
+		col := ts.Cols[n]
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, v := range col {
+			min, max = math.Min(min, v), math.Max(max, v)
+		}
+		fmt.Fprintf(w, "%-*s  %s  [%.4g .. %.4g] last %.4g\n",
+			nameW, n, sparkline(col, 40), min, max, col[len(col)-1])
+	}
+}
+
+// showSummary prints the per-series statistics table of a JSON summary.
+func showSummary(w io.Writer, s *metrics.Summary) {
+	if len(s.Meta) > 0 {
+		keys := make([]string, 0, len(s.Meta))
+		for k := range s.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%-10s %s\n", k+":", s.Meta[k])
+		}
+	}
+	fmt.Fprintf(w, "%-10s %d points every %gs, t = %g .. %g\n\n", "samples:", s.Samples, s.Interval, s.Start, s.End)
+
+	names := make([]string, 0, len(s.Series))
+	nameW := len("series")
+	for n := range s.Series {
+		names = append(names, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-*s  %-7s  %12s  %12s  %12s  %12s\n", nameW, "series", "kind", "min", "max", "mean", "last")
+	for _, n := range names {
+		ss := s.Series[n]
+		fmt.Fprintf(w, "%-*s  %-7s  %12.5g  %12.5g  %12.5g  %12.5g\n",
+			nameW, n, ss.Kind, ss.Min, ss.Max, ss.Mean, ss.Last)
+	}
+	if len(s.Histograms) > 0 {
+		hnames := make([]string, 0, len(s.Histograms))
+		for n := range s.Histograms {
+			hnames = append(hnames, n)
+		}
+		sort.Strings(hnames)
+		fmt.Fprintln(w)
+		for _, n := range hnames {
+			h := s.Histograms[n]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(w, "%s: %d observations, min %.5g, max %.5g, mean %.5g\n",
+				n, h.Count, h.Min, h.Max, mean)
+		}
+	}
+}
+
+// cmdDiff compares two summaries and reports every statistic that moved
+// by more than -rel; any delta is exit code 1.
+func cmdDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cametrics diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rel := fs.Float64("rel", 0.02, "relative-delta threshold: |new-old|/max(|old|,|new|) above this is a regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	if *rel < 0 {
+		return fail(stderr, fmt.Errorf("negative -rel %g", *rel))
+	}
+	read := func(path string) (*metrics.Summary, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return metrics.ReadSummary(f)
+	}
+	base, err := read(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	cur, err := read(fs.Arg(1))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	deltas := metrics.Diff(base, cur, *rel)
+	if len(deltas) == 0 {
+		fmt.Fprintf(stdout, "no deltas above %.3g%% across %d series\n", 100**rel, len(base.Series))
+		return 0
+	}
+	fmt.Fprintf(stdout, "%d deltas above %.3g%% (%s -> %s):\n", len(deltas), 100**rel, fs.Arg(0), fs.Arg(1))
+	for _, d := range deltas {
+		switch d.Stat {
+		case "added":
+			fmt.Fprintf(stdout, "  %-40s series only in %s (last %.6g)\n", d.Series, fs.Arg(1), d.New)
+		case "missing":
+			fmt.Fprintf(stdout, "  %-40s series only in %s (last %.6g)\n", d.Series, fs.Arg(0), d.Old)
+		default:
+			fmt.Fprintf(stdout, "  %-40s %-5s %.6g -> %.6g (%+.2f%%)\n",
+				d.Series, d.Stat, d.Old, d.New, 100*(d.New-d.Old)/math.Max(math.Abs(d.Old), math.Abs(d.New)))
+		}
+	}
+	return 1
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/policy"
+	"cachedarrays/internal/units"
+)
+
+// runOnce executes a small CA run with a metrics registry attached and
+// writes its CSV and summary into dir, returning the two paths.
+func runOnce(t *testing.T, dir, tag string, iters int) (csvPath, sumPath string) {
+	t.Helper()
+	reg := metrics.New(0)
+	reg.SetMeta("run", tag)
+	cfg := engine.Config{Iterations: iters, Metrics: reg,
+		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
+	if _, err := engine.RunCA(models.MLP(4096, []int{4096, 4096}, 1000, 16), policy.CALM, cfg); err != nil {
+		t.Fatal(err)
+	}
+	csvPath = filepath.Join(dir, tag+".csv")
+	sumPath = filepath.Join(dir, tag+".json")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteCSV(cf); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	sf, err := os.Create(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteSummary(sf, reg.Summarize()); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+	return csvPath, sumPath
+}
+
+func runCLI(args ...string) (int, string, string) {
+	var stdout, stderr bytes.Buffer
+	code := cliMain(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestShowCSVAndSummary(t *testing.T) {
+	dir := t.TempDir()
+	csvPath, sumPath := runOnce(t, dir, "show", 2)
+
+	code, out, errOut := runCLI("show", csvPath)
+	if code != 0 {
+		t.Fatalf("show csv: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "engine_iterations") || !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("show csv output lacks series or sparkline:\n%s", out)
+	}
+
+	code, out, errOut = runCLI("show", sumPath)
+	if code != 0 {
+		t.Fatalf("show summary: exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"run:", "engine_iterations", "mean", "last"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDiffSelfIsZero is the gate's baseline property: a summary diffed
+// against itself reports nothing and exits 0.
+func TestDiffSelfIsZero(t *testing.T) {
+	dir := t.TempDir()
+	_, sumPath := runOnce(t, dir, "self", 2)
+	code, out, errOut := runCLI("diff", "-rel", "0", sumPath, sumPath)
+	if code != 0 {
+		t.Fatalf("self-diff: exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "no deltas") {
+		t.Errorf("self-diff output: %s", out)
+	}
+}
+
+// TestDiffTripsOnPerturbedRun perturbs the configuration (one extra
+// iteration) and checks the gate flags it.
+func TestDiffTripsOnPerturbedRun(t *testing.T) {
+	dir := t.TempDir()
+	_, base := runOnce(t, dir, "base", 2)
+	_, cur := runOnce(t, dir, "cur", 3)
+	code, out, _ := runCLI("diff", "-rel", "0.05", base, cur)
+	if code != 1 {
+		t.Fatalf("perturbed diff: exit %d, want 1\nstdout: %s", code, out)
+	}
+	if !strings.Contains(out, "engine_iterations") {
+		t.Errorf("diff report does not name the moved series:\n%s", out)
+	}
+}
+
+func TestUsageAndBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	_, sumPath := runOnce(t, dir, "ok", 1)
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{\"not\":\"a summary\"}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no args", nil, 2},
+		{"unknown command", []string{"frobnicate"}, 2},
+		{"show missing operand", []string{"show"}, 2},
+		{"show nonexistent", []string{"show", filepath.Join(dir, "nope.csv")}, 1},
+		{"diff one operand", []string{"diff", sumPath}, 2},
+		{"diff negative rel", []string{"diff", "-rel", "-1", sumPath, sumPath}, 1},
+		{"diff garbage summary", []string{"diff", garbage, sumPath}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, _ := runCLI(tc.args...)
+			if code != tc.code {
+				t.Errorf("exit %d, want %d", code, tc.code)
+			}
+		})
+	}
+}

@@ -8,11 +8,14 @@
 //	carun -model resnet200 -batch 2048 -mode CA:LM
 //	carun -model densenet264 -batch 1536 -mode 2LM:0 -iters 4
 //	carun -model vgg116 -batch 320 -mode CA:LM -dram 30GB
+//	carun -model resnet50 -batch 256 -mode CA:LMP -metrics run.csv -metrics-summary run.json
+//	carun -model resnet200 -mode CA:LM -listen :8080   # live /metrics while it runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,7 +24,7 @@ import (
 	"cachedarrays/internal/pagemig"
 	"cachedarrays/internal/policy"
 	"cachedarrays/internal/profiling"
-	"cachedarrays/internal/tracing"
+	"cachedarrays/internal/runcfg"
 	"cachedarrays/internal/units"
 )
 
@@ -72,65 +75,95 @@ func run(model *models.Model, mode string, cfg engine.Config) (*engine.Result, e
 }
 
 func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain is the testable entry point: it parses args, runs the
+// experiment, and returns the process exit code (0 ok, 1 run error,
+// 2 usage error).
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("carun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		modelName = flag.String("model", "resnet200", "workload: densenet264, resnet200, vgg416, vgg116, ...")
-		batch     = flag.Int("batch", 2048, "training batch size")
-		mode      = flag.String("mode", "CA:LM", "operating mode: 2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, OS:page, AutoTM")
-		iters     = flag.Int("iters", 4, "training iterations (first is warm-up)")
-		dram      = flag.String("dram", "", "DRAM budget, e.g. 180GB; \"0\" for NVRAM-only (default: paper 180 GB)")
-		nvram     = flag.String("nvram", "", "NVRAM budget (default: paper 1300 GB)")
-		verbose   = flag.Bool("v", false, "print per-iteration metrics")
-		async     = flag.Bool("async", false, "use the asynchronous data mover (CA modes; §V-c future work, implemented)")
-		lookahead = flag.Int("lookahead", 0, "emit will_read hints this many kernels ahead")
-		allocator = flag.String("alloc", "", "heap allocator: firstfit (default), bestfit, buddy")
-		workload  = flag.String("workload", "", "load the workload from a JSON trace file instead of -model")
-		dump      = flag.String("dumpworkload", "", "write the built workload as JSON to this file and exit")
-		events    = flag.Int("events", 0, "print the last N data-manager events (CA modes)")
-		tracePath = flag.String("trace", "", "write the execution trace to this file (CA modes; .jsonl for the raw event log, anything else for Chrome/Perfetto trace-event JSON)")
-		check     = flag.Bool("check", false, "audit runtime invariants at every clock advance (CA modes; slower)")
-		faultSpec = flag.String("faults", "", "inject a deterministic fault schedule (CA modes), e.g. 'seed=42;allocfail:fast:t0=0.1,t1=0.3,p=0.5;copystall:nvram:t0=0,stall=2ms'")
-		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		modelName = fs.String("model", "resnet200", "workload: densenet264, resnet200, vgg416, vgg116, ...")
+		batch     = fs.Int("batch", 2048, "training batch size")
+		mode      = fs.String("mode", "CA:LM", "operating mode: 2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, OS:page, AutoTM")
+		iters     = fs.Int("iters", 4, "training iterations (first is warm-up)")
+		dram      = fs.String("dram", "", "DRAM budget, e.g. 180GB; \"0\" for NVRAM-only (default: paper 180 GB)")
+		nvram     = fs.String("nvram", "", "NVRAM budget (default: paper 1300 GB)")
+		verbose   = fs.Bool("v", false, "print per-iteration metrics")
+		async     = fs.Bool("async", false, "use the asynchronous data mover (CA modes; §V-c future work, implemented)")
+		lookahead = fs.Int("lookahead", 0, "emit will_read hints this many kernels ahead")
+		allocator = fs.String("alloc", "", "heap allocator: firstfit (default), bestfit, buddy")
+		workload  = fs.String("workload", "", "load the workload from a JSON trace file instead of -model")
+		dump      = fs.String("dumpworkload", "", "write the built workload as JSON to this file and exit")
+		events    = fs.Int("events", 0, "print the last N data-manager events (CA modes)")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	shared := runcfg.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error + usage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "carun:", err)
+		return 1
+	}
 
 	stopProf, err := profiling.Start(*cpuprof, *memprof)
-	fatal(err)
-	defer func() { fatal(stopProf()) }()
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "carun:", err)
+		}
+	}()
 
 	var model *models.Model
 	if *workload != "" {
 		f, err := os.Open(*workload)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 		model, err = models.LoadJSON(f)
 		f.Close()
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 	} else {
-		var err error
 		model, err = buildModel(*modelName, *batch)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 	}
 	if *dump != "" {
 		f, err := os.Create(*dump)
-		fatal(err)
-		fatal(model.SaveJSON(f))
-		fatal(f.Close())
-		fmt.Printf("wrote %s (%d tensors, %d kernels)\n", *dump, len(model.Tensors), len(model.Kernels))
-		return
+		if err != nil {
+			return fail(err)
+		}
+		err = model.SaveJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d tensors, %d kernels)\n", *dump, len(model.Tensors), len(model.Kernels))
+		return 0
 	}
 	cfg := engine.Config{
-		Iterations:        *iters,
-		AsyncMovement:     *async,
-		HintLookahead:     *lookahead,
-		Allocator:         *allocator,
-		TraceEvents:       *events,
-		Trace:             *tracePath != "",
-		CheckEveryAdvance: *check,
-		FaultSpec:         *faultSpec,
+		Iterations:    *iters,
+		AsyncMovement: *async,
+		HintLookahead: *lookahead,
+		Allocator:     *allocator,
+		TraceEvents:   *events,
 	}
 	if *dram != "" {
 		n, err := units.ParseBytes(*dram)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 		if n == 0 {
 			n = engine.NVRAMOnly
 		}
@@ -138,105 +171,79 @@ func main() {
 	}
 	if *nvram != "" {
 		n, err := units.ParseBytes(*nvram)
-		fatal(err)
+		if err != nil {
+			return fail(err)
+		}
 		cfg.SlowCapacity = n
 	}
 
-	fmt.Printf("model       : %s (batch %d)\n", model.Name, model.BatchSize)
-	fmt.Printf("footprint   : %s peak live (weights %s)\n",
+	sess, err := shared.Start(false, stdout)
+	if err != nil {
+		return fail(err)
+	}
+	defer sess.Close()
+	done := sess.Apply(runcfg.Name(model.Name, *mode), &cfg)
+
+	fmt.Fprintf(stdout, "model       : %s (batch %d)\n", model.Name, model.BatchSize)
+	fmt.Fprintf(stdout, "footprint   : %s peak live (weights %s)\n",
 		units.Bytes(model.PeakFootprint()), units.Bytes(model.WeightBytes()))
-	fmt.Printf("kernels     : %d (%d tensors), %.1f TFLOP/iteration\n",
+	fmt.Fprintf(stdout, "kernels     : %d (%d tensors), %.1f TFLOP/iteration\n",
 		len(model.Kernels), len(model.Tensors), model.TotalFLOPs()/1e12)
 
 	r, err := run(model, *mode, cfg)
-	fatal(err)
-
-	if *tracePath != "" {
-		fatal(writeTrace(*tracePath, r))
+	if err != nil {
+		return fail(err)
+	}
+	if err := done(r); err != nil {
+		return fail(err)
 	}
 
-	fmt.Printf("mode        : %s\n", r.Mode)
-	fmt.Printf("iteration   : %s (compute+kernels %s, movement stalls %s, gc %s)\n",
+	fmt.Fprintf(stdout, "mode        : %s\n", r.Mode)
+	fmt.Fprintf(stdout, "iteration   : %s (compute+kernels %s, movement stalls %s, gc %s)\n",
 		units.Seconds(r.IterTime), units.Seconds(r.ComputeTime),
 		units.Seconds(r.MoveTime), units.Seconds(r.GCTime))
-	fmt.Printf("async proj. : %s (paper Fig. 7 red line)\n", units.Seconds(r.ProjectedAsyncTime))
-	fmt.Printf("DRAM        : read %s, write %s, utilization %.1f%%\n",
+	fmt.Fprintf(stdout, "async proj. : %s (paper Fig. 7 red line)\n", units.Seconds(r.ProjectedAsyncTime))
+	fmt.Fprintf(stdout, "DRAM        : read %s, write %s, utilization %.1f%%\n",
 		units.Bytes(r.Fast.ReadBytes), units.Bytes(r.Fast.WriteBytes), 100*r.FastBusUtil)
-	fmt.Printf("NVRAM       : read %s, write %s, utilization %.1f%%\n",
+	fmt.Fprintf(stdout, "NVRAM       : read %s, write %s, utilization %.1f%%\n",
 		units.Bytes(r.Slow.ReadBytes), units.Bytes(r.Slow.WriteBytes), 100*r.SlowBusUtil)
-	fmt.Printf("peak heap   : %s\n", units.Bytes(r.PeakHeap))
+	fmt.Fprintf(stdout, "peak heap   : %s\n", units.Bytes(r.PeakHeap))
 	if r.Cache.Accesses() > 0 {
-		fmt.Printf("DRAM cache  : hit %.1f%%, clean miss %.1f%%, dirty miss %.1f%%\n",
+		fmt.Fprintf(stdout, "DRAM cache  : hit %.1f%%, clean miss %.1f%%, dirty miss %.1f%%\n",
 			100*r.Cache.HitRate(), 100*r.Cache.CleanMissRate(), 100*r.Cache.DirtyMissRate())
 	}
 	if strings.HasPrefix(strings.ToUpper(*mode), "CA") {
 		p := r.Policy
-		fmt.Printf("policy      : %d prefetches (%s), %d evictions (%s), %d elided writebacks\n",
+		fmt.Fprintf(stdout, "policy      : %d prefetches (%s), %d evictions (%s), %d elided writebacks\n",
 			p.Prefetches, units.Bytes(p.PrefetchBytes), p.Evictions,
 			units.Bytes(p.EvictionBytes), p.ElidedWritebacks)
-		fmt.Printf("retire      : %d eager, %d deferred; gc: %d collections\n",
+		fmt.Fprintf(stdout, "retire      : %d eager, %d deferred; gc: %d collections\n",
 			p.EagerRetires, p.DeferredRetires, r.GC.Collections)
 	}
 	if f := r.Faults; f.Total() > 0 {
-		fmt.Printf("faults      : %d alloc failures, %d copy errors, %d copy stalls (%s), %d throttle hits, %d shrink rejects\n",
+		fmt.Fprintf(stdout, "faults      : %d alloc failures, %d copy errors, %d copy stalls (%s), %d throttle hits, %d shrink rejects\n",
 			f.AllocFailures, f.CopyErrors, f.CopyStalls, units.Seconds(f.StallSeconds),
 			f.ThrottleHits, f.ShrinkRejects)
-		fmt.Printf("degradation : %d alloc retries, %d copy retries, %d slow-tier fallbacks, %d fetch failures\n",
+		fmt.Fprintf(stdout, "degradation : %d alloc retries, %d copy retries, %d slow-tier fallbacks, %d fetch failures\n",
 			r.DM.AllocRetries, r.DM.CopyRetries, r.Policy.FallbackAllocs, r.Policy.FetchFailures)
 	}
-	if *check {
-		fmt.Printf("invariants  : %d audits passed\n", r.InvariantChecks)
+	if shared.Check {
+		fmt.Fprintf(stdout, "invariants  : %d audits passed\n", r.InvariantChecks)
 	}
 	if *events > 0 && len(r.Events) > 0 {
-		fmt.Printf("\nlast %d data-manager events:\n", len(r.Events))
+		fmt.Fprintf(stdout, "\nlast %d data-manager events:\n", len(r.Events))
 		for _, e := range r.Events {
-			fmt.Println(" ", e)
+			fmt.Fprintln(stdout, " ", e)
 		}
 	}
 	if *verbose {
-		fmt.Println("\nper-iteration:")
+		fmt.Fprintln(stdout, "\nper-iteration:")
 		for i, it := range r.Iterations {
-			fmt.Printf("  iter %d: %s (move %s, gc %s)  dram %s/%s  nvram %s/%s\n",
+			fmt.Fprintf(stdout, "  iter %d: %s (move %s, gc %s)  dram %s/%s  nvram %s/%s\n",
 				i, units.Seconds(it.Time), units.Seconds(it.MoveTime), units.Seconds(it.GCTime),
 				units.Bytes(it.Fast.ReadBytes), units.Bytes(it.Fast.WriteBytes),
 				units.Bytes(it.Slow.ReadBytes), units.Bytes(it.Slow.WriteBytes))
 		}
 	}
-}
-
-// writeTrace exports the run's execution trace, verifying first that it is
-// an exact decomposition of the run's aggregates. The extension picks the
-// format: .jsonl gets the raw event log (catrace's input), anything else
-// the Chrome trace-event JSON for chrome://tracing / ui.perfetto.dev.
-func writeTrace(path string, r *engine.Result) error {
-	if len(r.Trace) == 0 {
-		return fmt.Errorf("-trace: mode produced no trace (tracing covers the CA engines)")
-	}
-	if err := tracing.Verify(r.Trace); err != nil {
-		return err
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if strings.HasSuffix(path, ".jsonl") {
-		err = tracing.WriteJSONL(f, r.Trace)
-	} else {
-		err = tracing.WriteChrome(f, r.Trace)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trace       : %d events -> %s (consistency verified)\n", len(r.Trace), path)
-	return nil
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "carun:", err)
-		os.Exit(1)
-	}
+	return 0
 }

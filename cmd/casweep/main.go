@@ -8,6 +8,7 @@
 //	casweep
 //	casweep -budgets 180GB,90GB,30GB,0 -iters 4
 //	casweep -csv > fig7.csv
+//	casweep -metrics sweep.csv        # per-run series: sweep-fig7-<model>-<budget>.csv
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/experiments"
+	"cachedarrays/internal/runcfg"
 	"cachedarrays/internal/units"
 )
 
@@ -28,6 +30,7 @@ func main() {
 		scale   = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
 	)
+	shared := runcfg.Register(flag.CommandLine)
 	flag.Parse()
 
 	var list []int64
@@ -44,7 +47,15 @@ func main() {
 			list = append(list, n)
 		}
 	}
-	tab, err := experiments.Fig7(experiments.Options{Iterations: *iters, Scale: *scale}, list)
+	// Instrumentation status goes to stderr so -csv output stays clean.
+	sess, err := shared.Start(true, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casweep:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+	opts := experiments.Options{Iterations: *iters, Scale: *scale, Instrument: sess.Apply}
+	tab, err := experiments.Fig7(opts, list)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casweep:", err)
 		os.Exit(1)

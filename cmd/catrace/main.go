@@ -24,55 +24,74 @@ import (
 )
 
 func main() {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cliMain is the testable entry point: it returns the process exit code
+// (0 ok, 1 unreadable/malformed/inconsistent trace, 2 usage error).
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("catrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		top     = flag.Int("top", 10, "rows in the stall-attribution table")
-		objects = flag.Int("objects", 10, "objects in the movement-history listing")
-		verbose = flag.Bool("v", false, "print every movement event of the listed objects")
+		top     = fs.Int("top", 10, "rows in the stall-attribution table")
+		objects = fs.Int("objects", 10, "objects in the movement-history listing")
+		verbose = fs.Bool("v", false, "print every movement event of the listed objects")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: catrace [-top N] [-objects N] [-v] trace.jsonl")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: catrace [-top N] [-objects N] [-v] trace.jsonl")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "catrace:", err)
+		return 1
 	}
 
-	f, err := os.Open(flag.Arg(0))
-	fatal(err)
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
 	events, err := tracing.ReadJSONL(f)
 	f.Close()
-	fatal(err)
+	if err != nil {
+		return fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
 	if len(events) == 0 {
-		fatal(fmt.Errorf("%s: empty trace", flag.Arg(0)))
+		return fail(fmt.Errorf("%s: empty trace", fs.Arg(0)))
 	}
 
 	t := tracing.FindTotals(events)
 	if t == nil {
-		fatal(fmt.Errorf("%s: no totals record — is this a carun -trace .jsonl file?", flag.Arg(0)))
+		return fail(fmt.Errorf("%s: no totals record — is this a carun -trace .jsonl file?", fs.Arg(0)))
 	}
 	if err := tracing.Verify(events); err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("trace       : %d events, %d iterations, devices %s+%s (consistency verified)\n",
+	fmt.Fprintf(stdout, "trace       : %d events, %d iterations, devices %s+%s (consistency verified)\n",
 		len(events), len(t.MoveTimeByIter), t.FastDevice, t.SlowDevice)
 
 	s := tracing.Summarize(events)
-	fmt.Printf("movement    : %d copies — %s %s, %s %s, %s within fast, %s within slow; %d defrag moves\n",
+	fmt.Fprintf(stdout, "movement    : %d copies — %s %s, %s %s, %s within fast, %s within slow; %d defrag moves\n",
 		s.Copies,
 		units.Bytes(s.BytesFastToSlow), "fast->slow",
 		units.Bytes(s.BytesSlowToFast), "slow->fast",
 		units.Bytes(s.BytesWithinFast), units.Bytes(s.BytesWithinSlow), s.DefragMoves)
-	fmt.Printf("traffic     : %s read %s, write %s; %s read %s, write %s\n",
+	fmt.Fprintf(stdout, "traffic     : %s read %s, write %s; %s read %s, write %s\n",
 		t.FastDevice, units.Bytes(t.FastReadBytes), units.Bytes(t.FastWriteBytes),
 		t.SlowDevice, units.Bytes(t.SlowReadBytes), units.Bytes(t.SlowWriteBytes))
-	fmt.Printf("stalls      : %s total", units.Seconds(s.StallSeconds))
+	fmt.Fprintf(stdout, "stalls      : %s total", units.Seconds(s.StallSeconds))
 	for i, m := range t.MoveTimeByIter {
-		fmt.Printf("  iter%d=%s", i, units.Seconds(m))
+		fmt.Fprintf(stdout, "  iter%d=%s", i, units.Seconds(m))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	names := tensorNames(events)
-	printStallTable(os.Stdout, events, names, s.StallSeconds, *top)
-	printFaultTable(os.Stdout, events, names)
-	printObjectHistories(os.Stdout, events, names, *objects, *verbose)
+	printStallTable(stdout, events, names, s.StallSeconds, *top)
+	printFaultTable(stdout, events, names)
+	printObjectHistories(stdout, events, names, *objects, *verbose)
+	return 0
 }
 
 // tensorNames maps object IDs to tensor names via the bind events.
@@ -335,11 +354,4 @@ func clip(s string, n int) string {
 		return s
 	}
 	return s[:n-1] + "…"
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "catrace:", err)
-		os.Exit(1)
-	}
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -155,6 +157,89 @@ func TestFaultTableAttributesDegradation(t *testing.T) {
 	// The policy's degradation decisions surface with their causes.
 	if !strings.Contains(out, "fallback-slow") || !strings.Contains(out, "fetch-failure") {
 		t.Fatalf("degradation decisions missing:\n%s", out)
+	}
+}
+
+// writeTraceFile runs a small traced experiment and writes its JSONL
+// export to a temp file, returning the path and raw bytes.
+func writeTraceFile(t *testing.T) (string, []byte) {
+	t.Helper()
+	r, err := engine.RunCA(models.MLP(4096, []int{4096, 4096}, 1000, 16), policy.CALM,
+		engine.Config{Iterations: 2, Trace: true,
+			FastCapacity: 2 * 1 << 30, SlowCapacity: 16 * 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracing.WriteJSONL(&buf, r.Trace); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, buf.Bytes()
+}
+
+// TestCLISummarizesRealTrace drives the full command path on a genuine
+// carun-style export.
+func TestCLISummarizesRealTrace(t *testing.T) {
+	path, _ := writeTraceFile(t)
+	var stdout, stderr bytes.Buffer
+	if code := cliMain([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"consistency verified", "movement", "stalls"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestCLIRejectsCorruptedTrace is the regression test for the malformed
+// JSONL bug: a truncated or corrupted trace file must produce a clear
+// line-numbered error and a nonzero exit, never a panic or a silently
+// wrong summary.
+func TestCLIRejectsCorruptedTrace(t *testing.T) {
+	_, raw := writeTraceFile(t)
+	dir := t.TempDir()
+	corrupt := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	tests := []struct {
+		name string
+		path string
+		want string // stderr substring
+	}{
+		// Cut at a comma so the last line is guaranteed mid-object.
+		{"truncated mid-line", corrupt("trunc.jsonl",
+			raw[:bytes.LastIndexByte(raw[:len(raw)*2/3], ',')]), "line"},
+		{"null line injected", corrupt("null.jsonl",
+			append([]byte("null\n"), raw...)), "line 1"},
+		{"not a trace at all", corrupt("csv.jsonl", []byte("t,kind,dur\n0,stall,1\n")), "line 1"},
+		{"empty file", corrupt("empty.jsonl", nil), "empty trace"},
+		{"nonexistent file", filepath.Join(dir, "nope.jsonl"), "no such file"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := cliMain([]string{tc.path}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1 (stdout: %s)", code, stdout.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.want)
+			}
+		})
+	}
+	// Usage errors are distinct from data errors.
+	var stdout, stderr bytes.Buffer
+	if code := cliMain(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no-args exit = %d, want 2", code)
 	}
 }
 

@@ -135,6 +135,11 @@ type Stats struct {
 	BytesWithinSlow  int64
 	Evictions        int64
 	DefragMoves      int64
+	// RegionAllocs and RegionFrees count heap-level region churn across
+	// both tiers (allocation/free *rates* in the metrics layer, where
+	// object counters only see whole-object lifecycle).
+	RegionAllocs int64
+	RegionFrees  int64
 	// AllocRetries and CopyRetries count the bounded backoff steps taken
 	// against injected transient faults (always zero without a fault
 	// schedule).
@@ -281,6 +286,7 @@ func (m *Manager) allocate(c Class, size int64, owner uint64) (*Region, error) {
 	}
 	r := &Region{class: c, offset: off, size: size}
 	m.regionAt[c][off] = r
+	m.stats.RegionAllocs++
 	m.record(EvAlloc, owner, size, c, c)
 	m.tracer.DM(tracing.KindAlloc, owner, size, "", c.String())
 	return r, nil
@@ -349,6 +355,7 @@ func (m *Manager) Free(r *Region) {
 	delete(m.regionAt[r.class], r.offset)
 	m.allocs[r.class].Free(r.offset)
 	r.freed = true
+	m.stats.RegionFrees++
 	m.record(EvFree, owner, r.size, r.class, r.class)
 	m.tracer.DM(tracing.KindFree, owner, r.size, r.class.String(), "")
 }
@@ -616,6 +623,7 @@ func (m *Manager) DestroyObject(o *Object) {
 		delete(m.regionAt[r.class], r.offset)
 		m.allocs[r.class].Free(r.offset)
 		r.freed = true
+		m.stats.RegionFrees++
 	}
 	delete(m.objects, o.id)
 	m.stats.ObjectsDestroyed++

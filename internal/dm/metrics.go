@@ -1,0 +1,61 @@
+package dm
+
+import "cachedarrays/internal/metrics"
+
+// RegisterMetrics registers the manager's telemetry with a metrics
+// registry: per-tier occupancy (used/free), per-tier dirty and linked
+// byte totals (a regionAt walk at each sample — cheap at paper-scale
+// region counts, and only paid when sampling fires), the live-object
+// gauge, and cumulative counters mirroring Stats. A nil registry
+// registers nothing.
+func (m *Manager) RegisterMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		c := c
+		tier := c.String()
+		reg.Gauge("dm_"+tier+"_used_bytes", func() float64 {
+			return float64(m.UsedBytes(c))
+		})
+		reg.Gauge("dm_"+tier+"_free_bytes", func() float64 {
+			return float64(m.FreeBytes(c))
+		})
+		reg.Gauge("dm_"+tier+"_dirty_bytes", func() float64 {
+			var n int64
+			for _, r := range m.regionAt[c] {
+				if r.dirty {
+					n += r.size
+				}
+			}
+			return float64(n)
+		})
+		reg.Gauge("dm_"+tier+"_linked_bytes", func() float64 {
+			var n int64
+			for _, r := range m.regionAt[c] {
+				if o := r.obj; o != nil && o.regions[1-c] != nil {
+					n += r.size
+				}
+			}
+			return float64(n)
+		})
+	}
+	reg.Gauge("dm_live_objects", func() float64 { return float64(m.LiveObjects()) })
+	counters := []struct {
+		name string
+		fn   func() float64
+	}{
+		{"dm_region_allocs", func() float64 { return float64(m.stats.RegionAllocs) }},
+		{"dm_region_frees", func() float64 { return float64(m.stats.RegionFrees) }},
+		{"dm_copies", func() float64 { return float64(m.stats.Copies) }},
+		{"dm_bytes_fast_to_slow", func() float64 { return float64(m.stats.BytesFastToSlow) }},
+		{"dm_bytes_slow_to_fast", func() float64 { return float64(m.stats.BytesSlowToFast) }},
+		{"dm_evictions", func() float64 { return float64(m.stats.Evictions) }},
+		{"dm_defrag_moves", func() float64 { return float64(m.stats.DefragMoves) }},
+		{"dm_alloc_retries", func() float64 { return float64(m.stats.AllocRetries) }},
+		{"dm_copy_retries", func() float64 { return float64(m.stats.CopyRetries) }},
+	}
+	for _, c := range counters {
+		reg.CounterFunc(c.name, c.fn)
+	}
+}

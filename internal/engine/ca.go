@@ -172,6 +172,14 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		chk = invariants.New(m, p).WithPolicy(pol)
 		chk.Attach()
 	}
+	// The metrics registry threads through the same layers with the same
+	// nil-safety discipline: every layer registers its series, the clock
+	// drives sampling, and a nil registry records nothing.
+	wirePlatformMetrics(cfg.Metrics, p)
+	m.RegisterMetrics(cfg.Metrics)
+	pol.RegisterMetrics(cfg.Metrics)
+	gc.RegisterMetrics(cfg.Metrics)
+	rm := newRunMetrics(cfg.Metrics)
 	objs := make([]*dm.Object, len(model.Tensors))
 
 	// Persistent tensors (weights, gradients, input batch) are allocated
@@ -262,6 +270,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 			// are skipped (x + 0 == x).
 			hintStall := p.Clock.Now() - hintStart
 			it.MoveTime += hintStall
+			rm.stall(hintStall)
 			if hintStall != 0 {
 				tr.Stall("hint", 0, hintStall)
 			}
@@ -278,6 +287,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 				if wait := need - p.Clock.Now(); wait > 0 {
 					p.Clock.Advance(wait)
 					it.MoveTime += wait
+					rm.stall(wait)
 					if tr.Enabled() {
 						var obj uint64
 						if blocking >= 0 && objs[blocking] != nil {
@@ -313,6 +323,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 			kt := kernelTime(p, k.FLOPs, readBytes, writeBytes)
 			p.Clock.Advance(kt)
 			it.ComputeTime += kt
+			rm.kernel(kt)
 			if tr.Enabled() {
 				now := p.Clock.Now()
 				tr.Kernel(now-kt, now,
@@ -358,12 +369,14 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 			if wait := p.Copier.BusyUntil() - p.Clock.Now(); wait > 0 {
 				p.Clock.Advance(wait)
 				it.MoveTime += wait
+				rm.stall(wait)
 				tr.Stall("drain", 0, wait)
 			}
 		}
 		gc.Collect()
 		it.GCTime = gc.Stats().PauseTime - gcBase
 		it.Time = p.Clock.Now() - iterStart
+		rm.iter(it.Time)
 		it.Fast = p.Fast.Counters().Sub(fastBase)
 		it.Slow = p.Slow.Counters().Sub(slowBase)
 		res.Iterations = append(res.Iterations, it)
@@ -432,6 +445,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		})
 		res.Trace = tr.Events()
 	}
+	finishMetrics(cfg.Metrics, model.Name, pol.Name(), p.Clock.Now())
 	res.aggregate()
 	return res, nil
 }

@@ -13,6 +13,7 @@ import (
 	"cachedarrays/internal/faults"
 	"cachedarrays/internal/gcsim"
 	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/policy"
 	"cachedarrays/internal/tracing"
@@ -82,6 +83,13 @@ type Config struct {
 	// Empty (the default) wires no injector, keeping runs byte-identical
 	// to builds without the fault layer (CachedArrays runs only).
 	FaultSpec string
+	// Metrics, when non-nil, is sampled on its virtual-time cadence
+	// throughout the run: every simulator layer registers its series
+	// (occupancy, bandwidth, queue depths, decision counters) and the
+	// virtual clock drives sampling. Nil (the default) records nothing
+	// and keeps runs byte-identical — the registry never advances the
+	// clock or touches simulation state.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/metrics"
+)
+
+// wirePlatformMetrics attaches a registry to the platform clock (which
+// drives sampling) and registers the device- and copy-engine-level series:
+// cumulative traffic and busy time per device, achieved bandwidth as a
+// fraction of the mixed peak (the Fig. 6 bus-utilization metric, sampled
+// over time instead of averaged per run), and the asynchronous mover's
+// queue depth and backlog. A nil registry only sets a nil clock hook.
+func wirePlatformMetrics(reg *metrics.Registry, p *memsim.Platform) {
+	p.Clock.Metrics = reg
+	if !reg.Enabled() {
+		return
+	}
+	for _, d := range []*memsim.Device{p.Fast, p.Slow} {
+		d := d
+		name := d.Name
+		reg.CounterFunc("mem_"+name+"_read_bytes", func() float64 {
+			return float64(d.Counters().ReadBytes)
+		})
+		reg.CounterFunc("mem_"+name+"_write_bytes", func() float64 {
+			return float64(d.Counters().WriteBytes)
+		})
+		reg.CounterFunc("mem_"+name+"_busy_seconds", func() float64 {
+			return d.Counters().BusyTime
+		})
+		peak := (d.Profile.PeakRead + d.Profile.PeakWrite) / 2
+		reg.Gauge("mem_"+name+"_bw_util", func() float64 {
+			now := p.Clock.Now()
+			if now <= 0 || peak <= 0 {
+				return 0
+			}
+			return float64(d.Counters().TotalBytes()) / now / peak
+		})
+	}
+	reg.Gauge("copy_queue_depth", func() float64 { return float64(p.Copier.QueueDepth()) })
+	reg.Gauge("copy_backlog_seconds", func() float64 { return p.Copier.Backlog() })
+}
+
+// runMetrics is the engine's own instrumentation: the per-iteration kernel
+// vs. stall split as cumulative counters plus duration histograms. All
+// fields are nil when metrics are off — every method on them is a no-op,
+// so call sites stay unconditional.
+type runMetrics struct {
+	kernelSeconds *metrics.Counter
+	stallSeconds  *metrics.Counter
+	iterations    *metrics.Counter
+	kernelHist    *metrics.Histogram
+	iterHist      *metrics.Histogram
+}
+
+// newRunMetrics registers the engine series. With a nil registry every
+// field stays nil (nil-safe no-ops).
+func newRunMetrics(reg *metrics.Registry) runMetrics {
+	return runMetrics{
+		kernelSeconds: reg.Counter("engine_kernel_seconds"),
+		stallSeconds:  reg.Counter("engine_stall_seconds"),
+		iterations:    reg.Counter("engine_iterations"),
+		kernelHist:    reg.Histogram("engine_kernel"),
+		iterHist:      reg.Histogram("engine_iter"),
+	}
+}
+
+func (rm runMetrics) kernel(dt float64) {
+	rm.kernelSeconds.Add(dt)
+	rm.kernelHist.Observe(dt)
+}
+
+func (rm runMetrics) stall(dt float64) {
+	if dt > 0 {
+		rm.stallSeconds.Add(dt)
+	}
+}
+
+func (rm runMetrics) iter(dt float64) {
+	rm.iterations.Inc()
+	rm.iterHist.Observe(dt)
+}
+
+// finishMetrics stamps the run identity into the registry and takes the
+// final sample so the series ends at the run's last virtual instant.
+func finishMetrics(reg *metrics.Registry, model, mode string, now float64) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.SetMeta("model", model)
+	reg.SetMeta("mode", mode)
+	reg.Flush(now)
+}

@@ -34,6 +34,11 @@ func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, 
 	res.recordPeaks(p)
 
 	heap := alloc.NewFreeList(p.Slow.Capacity, alloc.FirstFit)
+	wirePlatformMetrics(cfg.Metrics, p)
+	rm := newRunMetrics(cfg.Metrics)
+	if cfg.Metrics.Enabled() {
+		cfg.Metrics.Gauge("pagemig_heap_used_bytes", func() float64 { return float64(heap.Used()) })
+	}
 	addrs := make([]int64, len(model.Tensors))
 	allocate := func(id int) error {
 		a, err := heap.Alloc(model.Tensors[id].Bytes)
@@ -89,6 +94,7 @@ func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, 
 			}
 			p.Clock.Advance(kt)
 			it.ComputeTime += kt
+			rm.kernel(kt)
 
 			// The OS daemon wakes periodically; its migrations land
 			// on the application's critical path (page faults, TLB
@@ -96,7 +102,9 @@ func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, 
 			// clock; account the duration as movement stall.
 			kernelsSinceEpoch++
 			if kernelsSinceEpoch >= pcfg.EpochKernels {
-				it.MoveTime += mig.Epoch()
+				epoch := mig.Epoch()
+				it.MoveTime += epoch
+				rm.stall(epoch)
 				kernelsSinceEpoch = 0
 			}
 
@@ -113,6 +121,7 @@ func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, 
 		}
 
 		it.Time = p.Clock.Now() - iterStart
+		rm.iter(it.Time)
 		it.Fast = p.Fast.Counters().Sub(fastBase)
 		it.Slow = p.Slow.Counters().Sub(slowBase)
 		res.Iterations = append(res.Iterations, it)
@@ -123,6 +132,7 @@ func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, 
 			}
 		}
 	}
+	finishMetrics(cfg.Metrics, model.Name, "OS:page", p.Clock.Now())
 	res.aggregate()
 	return res, nil
 }

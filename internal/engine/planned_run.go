@@ -37,6 +37,9 @@ func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, e
 	}
 	res := &Result{ModelName: model.Name, Mode: "AutoTM:plan", Config: cfg}
 	res.recordPeaks(p)
+	wirePlatformMetrics(cfg.Metrics, p)
+	m.RegisterMetrics(cfg.Metrics)
+	rm := newRunMetrics(cfg.Metrics)
 	objs := make([]*dm.Object, len(model.Tensors))
 
 	// Index the planned offload and restore points by kernel.
@@ -133,7 +136,9 @@ func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, e
 					}
 				}
 			}
-			it.MoveTime += p.Clock.Now() - moveStart
+			moveStall := p.Clock.Now() - moveStart
+			it.MoveTime += moveStall
+			rm.stall(moveStall)
 
 			var readBytes, writeBytes [2]int64
 			rf := k.EffectiveReadFactor()
@@ -150,6 +155,7 @@ func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, e
 			kt := kernelTime(p, k.FLOPs, readBytes, writeBytes)
 			p.Clock.Advance(kt)
 			it.ComputeTime += kt
+			rm.kernel(kt)
 
 			moveStart = p.Clock.Now()
 			for _, id := range offloadAt[ki] {
@@ -163,7 +169,9 @@ func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, e
 				m.DestroyObject(objs[id])
 				objs[id] = nil
 			}
-			it.MoveTime += p.Clock.Now() - moveStart
+			moveStall = p.Clock.Now() - moveStart
+			it.MoveTime += moveStall
+			rm.stall(moveStall)
 
 			used := m.UsedBytes(dm.Fast) + m.UsedBytes(dm.Slow)
 			if used > res.PeakHeap {
@@ -172,6 +180,7 @@ func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, e
 		}
 
 		it.Time = p.Clock.Now() - iterStart
+		rm.iter(it.Time)
 		it.Fast = p.Fast.Counters().Sub(fastBase)
 		it.Slow = p.Slow.Counters().Sub(slowBase)
 		res.Iterations = append(res.Iterations, it)
@@ -185,6 +194,7 @@ func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, e
 		m.Defrag(dm.Slow)
 	}
 	res.DM = m.Stats()
+	finishMetrics(cfg.Metrics, model.Name, "AutoTM:plan", p.Clock.Now())
 	res.aggregate()
 	return res, nil
 }

@@ -41,6 +41,14 @@ func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
 	res.recordPeaks(p)
 
 	heap := alloc.NewFreeList(p.Slow.Capacity, alloc.FirstFit)
+	wirePlatformMetrics(cfg.Metrics, p)
+	rm := newRunMetrics(cfg.Metrics)
+	if cfg.Metrics.Enabled() {
+		cfg.Metrics.Gauge("twolm_heap_used_bytes", func() float64 { return float64(heap.Used()) })
+		cfg.Metrics.CounterFunc("twolm_cache_hits", func() float64 { return float64(cache.Stats().Hits) })
+		cfg.Metrics.CounterFunc("twolm_cache_clean_misses", func() float64 { return float64(cache.Stats().CleanMisses) })
+		cfg.Metrics.CounterFunc("twolm_cache_dirty_misses", func() float64 { return float64(cache.Stats().DirtyMisses) })
+	}
 	addrs := make([]int64, len(model.Tensors))
 	live := make([]bool, len(model.Tensors))
 
@@ -133,6 +141,7 @@ func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
 			kt += cost.Stall()
 			p.Clock.Advance(kt)
 			it.ComputeTime += kt
+			rm.kernel(kt)
 
 			for _, id := range sched.RetireAfter[ki] {
 				if memOpt {
@@ -157,6 +166,7 @@ func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
 		collect()
 		it.GCTime = gcPauses - gcBase
 		it.Time = p.Clock.Now() - iterStart
+		rm.iter(it.Time)
 		it.Fast = p.Fast.Counters().Sub(fastBase)
 		it.Slow = p.Slow.Counters().Sub(slowBase)
 		it.Cache = cache.Stats().Sub(cacheBase)
@@ -175,6 +185,7 @@ func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
 		}
 	}
 	res.Cache = twolm.Stats{}
+	finishMetrics(cfg.Metrics, model.Name, mode, p.Clock.Now())
 	res.aggregate()
 	return res, nil
 }

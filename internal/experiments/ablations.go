@@ -43,9 +43,10 @@ func Ablations(opts Options) (*Table, error) {
 		{"async mover", policy.CALM, func(c *engine.Config) { c.AsyncMovement = true }},
 	}
 	for _, v := range variants {
-		cfg := engine.Config{Iterations: opts.Iterations}
+		cfg := opts.config()
 		v.mut(&cfg)
-		r, err := engine.RunCA(m, v.mode, cfg)
+		r, err := opts.run(runName("ablations", v.name), cfg,
+			func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, v.mode, c) })
 		if err != nil {
 			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
 		}

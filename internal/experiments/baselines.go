@@ -28,33 +28,40 @@ func Baselines(opts Options) (*Table, error) {
 			"the asynchronous mover removes CachedArrays' synchronous movement stalls on top",
 		},
 	}
-	cfg := engine.Config{Iterations: opts.Iterations}
+	cfg := opts.config()
 	for _, pm := range models.PaperLargeModels() {
 		m := buildModel(pm, opts.Scale)
 		row := []string{pm.Name}
-		lm0, err := engine.Run2LM(m, false, cfg)
+		name := func(mode string) string { return runName("baselines", pm.Name, mode) }
+		lm0, err := opts.run(name("2lm0"), cfg,
+			func(c engine.Config) (*engine.Result, error) { return engine.Run2LM(m, false, c) })
 		if err != nil {
 			return nil, err
 		}
-		lmM, err := engine.Run2LM(m, true, cfg)
+		lmM, err := opts.run(name("2lmM"), cfg,
+			func(c engine.Config) (*engine.Result, error) { return engine.Run2LM(m, true, c) })
 		if err != nil {
 			return nil, err
 		}
-		osPg, err := engine.RunPageMig(m, pagemig.DefaultConfig(), cfg)
+		osPg, err := opts.run(name("ospage"), cfg,
+			func(c engine.Config) (*engine.Result, error) { return engine.RunPageMig(m, pagemig.DefaultConfig(), c) })
 		if err != nil {
 			return nil, err
 		}
-		planned, err := engine.RunPlanned(m, nil, cfg)
+		planned, err := opts.run(name("plan"), cfg,
+			func(c engine.Config) (*engine.Result, error) { return engine.RunPlanned(m, nil, c) })
 		if err != nil {
 			return nil, err
 		}
-		ca, err := engine.RunCA(m, policy.CALM, cfg)
+		ca, err := opts.run(name("calm"), cfg,
+			func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
 		if err != nil {
 			return nil, err
 		}
 		asyncCfg := cfg
 		asyncCfg.AsyncMovement = true
-		caAsync, err := engine.RunCA(m, policy.CALM, asyncCfg)
+		caAsync, err := opts.run(name("calm-async"), asyncCfg,
+			func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
 		if err != nil {
 			return nil, err
 		}

@@ -35,7 +35,8 @@ func BeyondCNNs(opts Options) (*Table, error) {
 	addRow := func(m *models.Model, runCfg engine.Config) error {
 		row := []string{m.Name}
 		for _, mode := range ModeNames {
-			r, err := runCell(m, mode, runCfg)
+			r, err := opts.run(runName("beyond", m.Name, mode), runCfg,
+				func(c engine.Config) (*engine.Result, error) { return runCell(m, mode, c) })
 			if err != nil {
 				return err
 			}
@@ -45,7 +46,7 @@ func BeyondCNNs(opts Options) (*Table, error) {
 		return nil
 	}
 
-	if err := addRow(models.Transformer(cfg), engine.Config{Iterations: opts.Iterations}); err != nil {
+	if err := addRow(models.Transformer(cfg), opts.config()); err != nil {
 		return nil, err
 	}
 
@@ -56,12 +57,11 @@ func BeyondCNNs(opts Options) (*Table, error) {
 	lcfg.SeqLen, lcfg.BatchSize = 512, 128
 	lstm := models.LSTM(lcfg)
 	budget := lstm.PeakFootprint() / 3
-	if err := addRow(lstm, engine.Config{
-		Iterations:   opts.Iterations,
-		FastCapacity: budget,
-		SlowCapacity: 16 * lstm.PeakFootprint(),
-		TwoLM:        twolmConfigFor(budget),
-	}); err != nil {
+	lstmCfg := opts.config()
+	lstmCfg.FastCapacity = budget
+	lstmCfg.SlowCapacity = 16 * lstm.PeakFootprint()
+	lstmCfg.TwoLM = twolmConfigFor(budget)
+	if err := addRow(lstm, lstmCfg); err != nil {
 		return nil, err
 	}
 	return t, nil

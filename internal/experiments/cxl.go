@@ -25,7 +25,10 @@ func CXLPortability(opts Options) (*Table, error) {
 		m := buildModel(pm, opts.Scale)
 		row := []string{pm.Name}
 		for _, mode := range []string{"CA:0", "CA:L", "CA:LM", "CA:LMP"} {
-			r, err := runCell(m, mode, engine.Config{Iterations: opts.Iterations, SlowTier: "cxl"})
+			cfg := opts.config()
+			cfg.SlowTier = "cxl"
+			r, err := opts.run(runName("cxl", pm.Name, mode), cfg,
+				func(c engine.Config) (*engine.Result, error) { return runCell(m, mode, c) })
 			if err != nil {
 				return nil, err
 			}

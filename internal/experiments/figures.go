@@ -69,12 +69,15 @@ func Fig3(opts Options, maxPoints int) (*Table, error) {
 		maxPoints = 64
 	}
 	m := buildModel(models.PaperLargeModels()[1], opts.Scale) // ResNet 200
-	cfg := engine.Config{Iterations: opts.Iterations, SampleHeap: true}
-	r0, err := engine.Run2LM(m, false, cfg)
+	cfg := opts.config()
+	cfg.SampleHeap = true
+	r0, err := opts.run(runName("fig3", m.Name, "2lm0"), cfg,
+		func(c engine.Config) (*engine.Result, error) { return engine.Run2LM(m, false, c) })
 	if err != nil {
 		return nil, err
 	}
-	rm, err := engine.Run2LM(m, true, cfg)
+	rm, err := opts.run(runName("fig3", m.Name, "2lmM"), cfg,
+		func(c engine.Config) (*engine.Result, error) { return engine.Run2LM(m, true, c) })
 	if err != nil {
 		return nil, err
 	}
@@ -195,13 +198,17 @@ func Fig7Async(opts Options, budgets []int64) (*Table, error) {
 	for _, pm := range models.PaperSmallModels() {
 		m := buildModel(pm, opts.Scale)
 		for _, b := range budgets {
-			sync, err := engine.RunCA(m, policy.CALM,
-				engine.Config{Iterations: opts.Iterations, FastCapacity: b})
+			cfg := opts.config()
+			cfg.FastCapacity = b
+			sync, err := opts.run(runName("fig7async", pm.Name, fmt.Sprint(b), "sync"), cfg,
+				func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
 			if err != nil {
 				return nil, err
 			}
-			async, err := engine.RunCA(m, policy.CALM,
-				engine.Config{Iterations: opts.Iterations, FastCapacity: b, AsyncMovement: true})
+			acfg := cfg
+			acfg.AsyncMovement = true
+			async, err := opts.run(runName("fig7async", pm.Name, fmt.Sprint(b), "async"), acfg,
+				func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
 			if err != nil {
 				return nil, err
 			}
@@ -237,8 +244,10 @@ func Fig7(opts Options, budgets []int64) (*Table, error) {
 	for _, pm := range models.PaperSmallModels() {
 		m := buildModel(pm, opts.Scale)
 		for _, b := range budgets {
-			cfg := engine.Config{Iterations: opts.Iterations, FastCapacity: b}
-			r, err := engine.RunCA(m, policy.CALM, cfg)
+			cfg := opts.config()
+			cfg.FastCapacity = b
+			r, err := opts.run(runName("fig7", pm.Name, fmt.Sprint(b)), cfg,
+				func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
 			if err != nil {
 				return nil, fmt.Errorf("%s @ %d: %w", pm.Name, b, err)
 			}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"cachedarrays/internal/engine"
@@ -19,6 +20,19 @@ type Options struct {
 	// Scale divides every model's batch size, shrinking footprints and
 	// host runtime proportionally for quick looks; 0 or 1 = paper scale.
 	Scale int
+	// Engine is the base engine configuration every run starts from;
+	// shared knobs set here land in all of an experiment's runs at once.
+	// Per-run fields (Iterations, capacities, mode switches) are layered
+	// on top by each experiment.
+	Engine engine.Config
+	// Instrument, when non-nil, is called once per engine run with a
+	// unique run name and the run's merged config before the run starts;
+	// it may attach per-run instrumentation (a metrics registry, tracing,
+	// fault schedules — runcfg.Session.Apply has this shape). The
+	// returned callback (may be nil) receives the completed result for
+	// per-run exports. It must be safe for concurrent calls: RunMatrix
+	// executes cells in parallel.
+	Instrument func(name string, cfg *engine.Config) func(*engine.Result) error
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +88,52 @@ func buildModel(pm models.PaperModel, scale int) *models.Model {
 	}
 }
 
+// config returns the options' base engine config with iterations set —
+// the starting point for every experiment's run configs.
+func (o Options) config() engine.Config {
+	cfg := o.Engine
+	cfg.Iterations = o.Iterations
+	return cfg
+}
+
+// run executes one named engine run through the Instrument hook.
+func (o Options) run(name string, cfg engine.Config,
+	fn func(engine.Config) (*engine.Result, error)) (*engine.Result, error) {
+
+	var done func(*engine.Result) error
+	if o.Instrument != nil {
+		done = o.Instrument(name, &cfg)
+	}
+	r, err := fn(cfg)
+	if err != nil || done == nil {
+		return r, err
+	}
+	if err := done(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// runName builds a filesystem- and label-safe run name from parts:
+// lowered, with anything outside [a-z0-9.-] folded to '_', joined by '-'.
+func runName(parts ...string) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		for _, r := range strings.ToLower(p) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+				b.WriteRune(r)
+			default:
+				b.WriteByte('_')
+			}
+		}
+	}
+	return b.String()
+}
+
 // runCell executes one (model, mode) run.
 func runCell(m *models.Model, mode string, cfg engine.Config) (*engine.Result, error) {
 	switch mode {
@@ -98,7 +158,7 @@ func runCell(m *models.Model, mode string, cfg engine.Config) (*engine.Result, e
 // are independent simulations, so they parallelize across goroutines.
 func RunMatrix(opts Options) (*Matrix, error) {
 	opts = opts.withDefaults()
-	cfg := engine.Config{Iterations: opts.Iterations}
+	cfg := opts.config()
 	mat := &Matrix{Results: make(map[Cell]*engine.Result)}
 
 	// Each job builds its own model: the graph builders are cheap and
@@ -129,7 +189,10 @@ func RunMatrix(opts Options) (*Matrix, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := runCell(buildModel(j.pm, opts.Scale), j.cell.Mode, cfg)
+			r, err := opts.run(runName("matrix", j.cell.Model, j.cell.Mode), cfg,
+				func(c engine.Config) (*engine.Result, error) {
+					return runCell(buildModel(j.pm, opts.Scale), j.cell.Mode, c)
+				})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -1,0 +1,20 @@
+package gcsim
+
+import "cachedarrays/internal/metrics"
+
+// RegisterMetrics registers the collector's telemetry: the deferred-death
+// backlog (objects and bytes awaiting collection — the writeback
+// obligation the paper's M optimization exists to avoid) and cumulative
+// collection counters including total pause time. A nil registry
+// registers nothing.
+func (c *Collector) RegisterMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("gc_pending_objects", func() float64 { return float64(c.PendingObjects()) })
+	reg.Gauge("gc_pending_bytes", func() float64 { return float64(c.PendingBytes()) })
+	reg.CounterFunc("gc_collections", func() float64 { return float64(c.stats.Collections) })
+	reg.CounterFunc("gc_objects_freed", func() float64 { return float64(c.stats.ObjectsFreed) })
+	reg.CounterFunc("gc_bytes_reclaimed", func() float64 { return float64(c.stats.BytesReclaimed) })
+	reg.CounterFunc("gc_pause_seconds", func() float64 { return c.stats.PauseTime })
+}

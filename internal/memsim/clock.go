@@ -12,6 +12,7 @@ package memsim
 import (
 	"fmt"
 
+	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/tracing"
 )
 
@@ -23,6 +24,12 @@ type Clock struct {
 	// Tracer, when non-nil, records every advance into the execution
 	// trace. A nil tracer costs one branch per advance.
 	Tracer *tracing.Recorder
+
+	// Metrics, when non-nil, is sampled on its virtual-time cadence:
+	// every advance offers the new time to the registry, which samples
+	// all registered series when the step crossed a sampling boundary.
+	// A nil registry costs one branch per advance.
+	Metrics *metrics.Registry
 
 	// OnAdvance, when non-nil, runs after every advance with the new time
 	// and the step size. The invariant checker hooks here to audit the
@@ -44,6 +51,7 @@ func (c *Clock) Advance(dt float64) {
 	}
 	c.now += dt
 	c.Tracer.ClockAdvance(c.now, dt)
+	c.Metrics.Tick(c.now, dt)
 	if c.OnAdvance != nil {
 		c.OnAdvance(c.now, dt)
 	}

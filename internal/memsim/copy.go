@@ -69,6 +69,22 @@ func (e *CopyEngine) BusyUntil() float64 {
 	return e.busyUntil
 }
 
+// QueueDepth returns the number of transfers the asynchronous mover has
+// queued since it was last idle, or zero when the mover is idle (or the
+// engine is synchronous). It is an instantaneous gauge for metrics.
+func (e *CopyEngine) QueueDepth() int {
+	if !e.Async || e.busyUntil <= e.Clock.Now() {
+		return 0
+	}
+	return e.queued
+}
+
+// Backlog returns the virtual seconds of queued work ahead of the
+// asynchronous mover: BusyUntil minus now, zero when idle or synchronous.
+func (e *CopyEngine) Backlog() float64 {
+	return e.BusyUntil() - e.Clock.Now()
+}
+
 // Reset returns the engine to its just-built state: the asynchronous
 // mover's queue is empty. Experiments that reuse a platform across runs
 // must reset the engine along with the clock — a rewound clock would

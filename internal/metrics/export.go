@@ -1,0 +1,269 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV writes the sampled time series in wide form: a "t" column of
+// virtual-time stamps followed by one column per series, sorted by name.
+// Values round-trip exactly (%g with full precision), so two identical
+// runs produce byte-identical files.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("metrics: no registry to export")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cols := r.sortedCols()
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(cols)+1)
+	header = append(header, "t")
+	for _, c := range cols {
+		header = append(header, c.name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i, t := range r.times {
+		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for j, c := range cols {
+			row[j+1] = strconv.FormatFloat(c.samples[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TimeSeries is a parsed wide-CSV metrics export.
+type TimeSeries struct {
+	Times []float64
+	Names []string // sorted, as written
+	Cols  map[string][]float64
+}
+
+// ReadCSV parses a file written by WriteCSV.
+func ReadCSV(rd io.Reader) (*TimeSeries, error) {
+	cr := csv.NewReader(rd)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: reading CSV header: %w", err)
+	}
+	if len(header) < 1 || header[0] != "t" {
+		return nil, fmt.Errorf("metrics: not a metrics CSV (first column %q, want \"t\")", header[0])
+	}
+	ts := &TimeSeries{
+		Names: append([]string(nil), header[1:]...),
+		Cols:  make(map[string][]float64, len(header)-1),
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return ts, nil
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("metrics: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("metrics: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		t, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: CSV line %d: bad time %q", line, rec[0])
+		}
+		ts.Times = append(ts.Times, t)
+		for j, name := range ts.Names {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: CSV line %d, column %s: bad value %q", line, name, rec[j+1])
+			}
+			ts.Cols[name] = append(ts.Cols[name], v)
+		}
+	}
+}
+
+// SeriesSummary condenses one series to its per-run statistics. Mean is
+// the arithmetic mean over samples (not time-weighted; samples are evenly
+// spaced in virtual time up to step quantization).
+type SeriesSummary struct {
+	Kind    Kind    `json:"kind"`
+	Samples int     `json:"samples"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Last    float64 `json:"last"`
+}
+
+// Summary is the compact JSON description of one run's metrics: what
+// cametrics diffs and CI gates on.
+type Summary struct {
+	Meta       map[string]string            `json:"meta,omitempty"`
+	Interval   float64                      `json:"interval"`
+	Samples    int                          `json:"samples"`
+	Start      float64                      `json:"start"`
+	End        float64                      `json:"end"`
+	Series     map[string]SeriesSummary     `json:"series"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// summarize reduces a sample vector to its summary statistics.
+func summarize(kind Kind, samples []float64) SeriesSummary {
+	s := SeriesSummary{Kind: kind, Samples: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range samples {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		s.Mean += v
+	}
+	s.Mean /= float64(len(samples))
+	s.Last = samples[len(samples)-1]
+	return s
+}
+
+// Summarize reduces the registry's sampled series to a Summary.
+func (r *Registry) Summarize() *Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Summary{
+		Interval: r.interval,
+		Samples:  len(r.times),
+		Series:   make(map[string]SeriesSummary, len(r.cols)),
+	}
+	if len(r.meta) > 0 {
+		s.Meta = make(map[string]string, len(r.meta))
+		for k, v := range r.meta {
+			s.Meta[k] = v
+		}
+	}
+	if len(r.times) > 0 {
+		s.Start, s.End = r.times[0], r.times[len(r.times)-1]
+	}
+	for _, c := range r.cols {
+		s.Series[c.name] = summarize(c.kind, c.samples)
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for _, h := range r.hists {
+			s.Histograms[h.name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteSummary writes the summary as indented JSON. Map keys marshal
+// sorted, so identical runs produce byte-identical summaries — the
+// property the committed-baseline regression gate relies on.
+func WriteSummary(w io.Writer, s *Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSummary parses a JSON summary written by WriteSummary.
+func ReadSummary(rd io.Reader) (*Summary, error) {
+	var s Summary
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("metrics: reading summary: %w", err)
+	}
+	if s.Series == nil {
+		return nil, fmt.Errorf("metrics: summary has no series — is this a -metrics-summary file?")
+	}
+	return &s, nil
+}
+
+// Delta is one statistic that moved between two summaries by more than
+// the diff threshold.
+type Delta struct {
+	Series string
+	Stat   string // min / max / mean / last / count, or "missing"/"added"
+	Old    float64
+	New    float64
+	Rel    float64 // |new-old| / max(|old|, |new|); +Inf for missing series
+}
+
+// relDelta returns the symmetric relative difference of two values: 0 for
+// exact equality (including 0 vs 0), else |b-a| scaled by the larger
+// magnitude.
+func relDelta(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(b-a) / den
+}
+
+// Diff compares two summaries and returns every per-series statistic
+// whose relative delta exceeds rel, plus series present in only one run
+// (reported with Rel=+Inf). Deltas are sorted largest first, then by
+// series name — a deterministic regression report. Two summaries of the
+// same deterministic run diff to nil.
+func Diff(base, cur *Summary, rel float64) []Delta {
+	var out []Delta
+	names := make(map[string]bool, len(base.Series)+len(cur.Series))
+	for n := range base.Series {
+		names[n] = true
+	}
+	for n := range cur.Series {
+		names[n] = true
+	}
+	for n := range names {
+		o, inOld := base.Series[n]
+		nw, inNew := cur.Series[n]
+		switch {
+		case !inOld:
+			out = append(out, Delta{Series: n, Stat: "added", New: nw.Last, Rel: math.Inf(1)})
+			continue
+		case !inNew:
+			out = append(out, Delta{Series: n, Stat: "missing", Old: o.Last, Rel: math.Inf(1)})
+			continue
+		}
+		stats := []struct {
+			name     string
+			old, new float64
+		}{
+			{"min", o.Min, nw.Min},
+			{"max", o.Max, nw.Max},
+			{"mean", o.Mean, nw.Mean},
+			{"last", o.Last, nw.Last},
+			{"count", float64(o.Samples), float64(nw.Samples)},
+		}
+		for _, st := range stats {
+			if d := relDelta(st.old, st.new); d > rel {
+				out = append(out, Delta{Series: n, Stat: st.name, Old: st.old, New: st.new, Rel: d})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel > out[j].Rel
+		}
+		if out[i].Series != out[j].Series {
+			return out[i].Series < out[j].Series
+		}
+		return out[i].Stat < out[j].Stat
+	})
+	return out
+}

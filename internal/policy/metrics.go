@@ -1,0 +1,39 @@
+package policy
+
+import "cachedarrays/internal/metrics"
+
+// RegisterMetrics registers the policy's telemetry: the instantaneous
+// fast-residency picture (tracked objects, resident and evictable bytes —
+// the numbers makeRoomInFast steers by) plus cumulative counters for every
+// decision class in Stats, including the degradation paths (fetch
+// failures, fallback allocations) added with fault injection. A nil
+// registry registers nothing.
+func (p *Tiered) RegisterMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("policy_fast_resident_objects", func() float64 { return float64(p.FastResident()) })
+	reg.Gauge("policy_fast_resident_bytes", func() float64 { return float64(p.FastResidentBytes()) })
+	reg.Gauge("policy_evictable_fast_bytes", func() float64 { return float64(p.EvictableFastBytes()) })
+	counters := []struct {
+		name string
+		fn   func() float64
+	}{
+		{"policy_prefetches", func() float64 { return float64(p.stats.Prefetches) }},
+		{"policy_prefetch_bytes", func() float64 { return float64(p.stats.PrefetchBytes) }},
+		{"policy_evictions", func() float64 { return float64(p.stats.Evictions) }},
+		{"policy_eviction_bytes", func() float64 { return float64(p.stats.EvictionBytes) }},
+		{"policy_elided_writebacks", func() float64 { return float64(p.stats.ElidedWritebacks) }},
+		{"policy_eager_retires", func() float64 { return float64(p.stats.EagerRetires) }},
+		{"policy_deferred_retires", func() float64 { return float64(p.stats.DeferredRetires) }},
+		{"policy_fast_allocs", func() float64 { return float64(p.stats.FastAllocs) }},
+		{"policy_slow_allocs", func() float64 { return float64(p.stats.SlowAllocs) }},
+		{"policy_fetch_failures", func() float64 { return float64(p.stats.FetchFailures) }},
+		{"policy_gc_triggers", func() float64 { return float64(p.stats.GCTriggers) }},
+		{"policy_defrags", func() float64 { return float64(p.stats.Defrags) }},
+		{"policy_fallback_allocs", func() float64 { return float64(p.stats.FallbackAllocs) }},
+	}
+	for _, c := range counters {
+		reg.CounterFunc(c.name, c.fn)
+	}
+}

@@ -1,0 +1,257 @@
+// Package runcfg is the shared instrumentation wiring of the run
+// commands (carun, casweep, cafigures): one flag surface for execution
+// tracing, fault injection, invariant checking, metrics sampling/export
+// and the live HTTP endpoint, applied uniformly to every engine run a
+// command makes. Adding a flag here lands it in all runners at once.
+package runcfg
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/tracing"
+)
+
+// Flags holds the shared instrumentation flag values.
+type Flags struct {
+	Trace           string
+	Check           bool
+	Faults          string
+	Metrics         string
+	MetricsSummary  string
+	MetricsInterval float64
+	Listen          string
+}
+
+// Register installs the shared instrumentation flags on a flag set.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "",
+		"write the execution trace to this file (CA modes; .jsonl for the raw event log, anything else for Chrome/Perfetto trace-event JSON)")
+	fs.BoolVar(&f.Check, "check", false,
+		"audit runtime invariants at every clock advance (CA modes; slower)")
+	fs.StringVar(&f.Faults, "faults", "",
+		"inject a deterministic fault schedule (CA modes), e.g. 'seed=42;allocfail:fast:t0=0.1,t1=0.3,p=0.5;copystall:nvram:t0=0,stall=2ms'")
+	fs.StringVar(&f.Metrics, "metrics", "",
+		"write the sampled metrics time series as wide CSV to this file")
+	fs.StringVar(&f.MetricsSummary, "metrics-summary", "",
+		"write the compact metrics JSON summary to this file (cametrics diff input)")
+	fs.Float64Var(&f.MetricsInterval, "metrics-interval", metrics.DefaultInterval,
+		"metrics sampling cadence in virtual seconds")
+	fs.StringVar(&f.Listen, "listen", "",
+		"serve live metrics over HTTP on this address (Prometheus text at /metrics, expvar at /debug/vars)")
+	return f
+}
+
+// metricsWanted reports whether any metrics sink was requested.
+func (f *Flags) metricsWanted() bool {
+	return f.Metrics != "" || f.MetricsSummary != "" || f.Listen != ""
+}
+
+// Name builds a filesystem- and label-safe run name from parts: lowered,
+// with anything outside [a-z0-9.-] folded to '_', joined by '-'.
+func Name(parts ...string) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		for _, r := range strings.ToLower(p) {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+				b.WriteRune(r)
+			default:
+				b.WriteByte('_')
+			}
+		}
+	}
+	return b.String()
+}
+
+// Session is a command's instrumentation state: the metrics hub behind
+// the live endpoint plus the output-writing discipline. One Session
+// serves all of a command's runs.
+type Session struct {
+	flags *Flags
+	multi bool
+
+	hub *metrics.Hub
+	srv *http.Server
+	ln  net.Listener
+
+	// mu serializes status prints and output writes from parallel sweeps.
+	mu     sync.Mutex
+	status io.Writer
+}
+
+// Start validates the flags and brings up the live HTTP endpoint when
+// requested. multi declares whether the command makes more than one
+// engine run — multi-run sessions suffix every output path with the run
+// name, and silently skip trace export for modes that produce no trace.
+// Status lines (where outputs landed) go to status; nil discards them.
+func (f *Flags) Start(multi bool, status io.Writer) (*Session, error) {
+	if status == nil {
+		status = io.Discard
+	}
+	s := &Session{flags: f, multi: multi, status: status}
+	if f.metricsWanted() {
+		if f.MetricsInterval < 0 {
+			return nil, fmt.Errorf("runcfg: negative -metrics-interval %g", f.MetricsInterval)
+		}
+		s.hub = metrics.NewHub()
+	}
+	if f.Listen != "" {
+		ln, err := net.Listen("tcp", f.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("runcfg: -listen: %w", err)
+		}
+		s.ln = ln
+		s.srv = &http.Server{Handler: s.hub.Handler()}
+		go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+		fmt.Fprintf(status, "metrics     : serving on http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+	}
+	return s, nil
+}
+
+// Addr returns the live endpoint's bound address ("" when -listen is off);
+// with -listen :0 this is where the ephemeral port shows up.
+func (s *Session) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts down the live endpoint.
+func (s *Session) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Apply merges the shared instrumentation into one named run's config
+// and returns the completion callback that exports the run's outputs.
+// It has the experiments.Options.Instrument shape and is safe for
+// concurrent calls (parallel sweeps): per-run outputs go to distinct,
+// name-suffixed files.
+func (s *Session) Apply(name string, cfg *engine.Config) func(*engine.Result) error {
+	cfg.CheckEveryAdvance = cfg.CheckEveryAdvance || s.flags.Check
+	if s.flags.Faults != "" {
+		cfg.FaultSpec = s.flags.Faults
+	}
+	if s.flags.Trace != "" {
+		cfg.Trace = true
+	}
+	var reg *metrics.Registry
+	if s.flags.metricsWanted() {
+		reg = metrics.New(s.flags.MetricsInterval)
+		reg.SetMeta("run", name)
+		cfg.Metrics = reg
+		s.hub.Register(name, reg)
+	}
+	return func(r *engine.Result) error {
+		if s.flags.Trace != "" {
+			if err := s.writeTrace(name, r); err != nil {
+				return err
+			}
+		}
+		if reg != nil {
+			if err := s.writeMetrics(name, reg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// path suffixes an output path with the run name for multi-run sessions:
+// out.csv + fig7-vgg_116-30 -> out-fig7-vgg_116-30.csv.
+func (s *Session) path(base, name string) string {
+	if !s.multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + name + ext
+}
+
+// writeTrace exports a run's execution trace, verifying first that it is
+// an exact decomposition of the run's aggregates. The extension picks
+// the format: .jsonl gets the raw event log (catrace's input), anything
+// else the Chrome trace-event JSON.
+func (s *Session) writeTrace(name string, r *engine.Result) error {
+	if len(r.Trace) == 0 {
+		if s.multi {
+			return nil // baseline modes produce no trace; skip in sweeps
+		}
+		return fmt.Errorf("-trace: mode produced no trace (tracing covers the CA engines)")
+	}
+	if err := tracing.Verify(r.Trace); err != nil {
+		return err
+	}
+	path := s.path(s.flags.Trace, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tracing.WriteJSONL(f, r.Trace)
+	} else {
+		err = tracing.WriteChrome(f, r.Trace)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	fmt.Fprintf(s.status, "trace       : %d events -> %s (consistency verified)\n", len(r.Trace), path)
+	s.mu.Unlock()
+	return nil
+}
+
+// writeMetrics exports a run's sampled series (CSV) and summary (JSON).
+func (s *Session) writeMetrics(name string, reg *metrics.Registry) error {
+	if p := s.flags.Metrics; p != "" {
+		if err := writeFile(s.path(p, name), reg.WriteCSV); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		fmt.Fprintf(s.status, "metrics     : %d samples -> %s\n", reg.Samples(), s.path(p, name))
+		s.mu.Unlock()
+	}
+	if p := s.flags.MetricsSummary; p != "" {
+		write := func(w io.Writer) error { return metrics.WriteSummary(w, reg.Summarize()) }
+		if err := writeFile(s.path(p, name), write); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		fmt.Fprintf(s.status, "metrics     : summary -> %s\n", s.path(p, name))
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// writeFile creates path and streams write into it, reporting the first
+// error including the close.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

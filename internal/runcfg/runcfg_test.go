@@ -1,0 +1,210 @@
+package runcfg
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/policy"
+	"cachedarrays/internal/units"
+)
+
+func TestNameSanitization(t *testing.T) {
+	tests := []struct {
+		parts []string
+		want  string
+	}{
+		{[]string{"ResNet 200", "CA:LM"}, "resnet_200-ca_lm"},
+		{[]string{"fig7", "VGG 116", "32212254720"}, "fig7-vgg_116-32212254720"},
+		{[]string{"a.b-c"}, "a.b-c"},
+	}
+	for _, tc := range tests {
+		if got := Name(tc.parts...); got != tc.want {
+			t.Errorf("Name(%v) = %q, want %q", tc.parts, got, tc.want)
+		}
+	}
+}
+
+func parseFlags(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStartRejectsNegativeInterval(t *testing.T) {
+	f := parseFlags(t, "-metrics", "x.csv", "-metrics-interval", "-1")
+	if _, err := f.Start(false, nil); err == nil ||
+		!strings.Contains(err.Error(), "metrics-interval") {
+		t.Fatalf("negative interval error = %v", err)
+	}
+}
+
+// smallRun executes a tiny CA run through Apply, like a command would.
+func smallRun(t *testing.T, sess *Session, name string, trace bool) {
+	t.Helper()
+	cfg := engine.Config{Iterations: 2, Trace: trace,
+		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
+	done := sess.Apply(name, &cfg)
+	r, err := engine.RunCA(models.MLP(4096, []int{4096, 4096}, 1000, 16), policy.CALM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := done(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRunExports(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "run.csv")
+	sumPath := filepath.Join(dir, "run.json")
+	tracePath := filepath.Join(dir, "run.jsonl")
+	f := parseFlags(t, "-metrics", csvPath, "-metrics-summary", sumPath, "-trace", tracePath)
+	sess, err := f.Start(false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	smallRun(t, sess, "mlp3-ca_lm", true)
+	// Single-run sessions write to the exact paths given.
+	for _, p := range []string{csvPath, sumPath, tracePath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing export: %v", err)
+		}
+	}
+	sf, err := os.Open(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := metrics.ReadSummary(sf)
+	sf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Meta["run"] != "mlp3-ca_lm" {
+		t.Errorf("run meta = %q", sum.Meta["run"])
+	}
+}
+
+func TestSingleRunErrorsOnTracelessMode(t *testing.T) {
+	dir := t.TempDir()
+	f := parseFlags(t, "-trace", filepath.Join(dir, "t.jsonl"))
+	sess, err := f.Start(false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	cfg := engine.Config{Iterations: 1,
+		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
+	done := sess.Apply("mlp3-2lm_0", &cfg)
+	r, err := engine.Run2LM(models.MLP(4096, []int{4096, 4096}, 1000, 16), false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := done(r); err == nil || !strings.Contains(err.Error(), "no trace") {
+		t.Fatalf("traceless single run error = %v", err)
+	}
+}
+
+func TestMultiRunSuffixesPathsAndSkipsTraceless(t *testing.T) {
+	dir := t.TempDir()
+	f := parseFlags(t,
+		"-metrics", filepath.Join(dir, "out.csv"),
+		"-trace", filepath.Join(dir, "out.jsonl"))
+	sess, err := f.Start(true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	smallRun(t, sess, "sweep-a", true)
+	smallRun(t, sess, "sweep-b", true)
+	for _, want := range []string{"out-sweep-a.csv", "out-sweep-b.csv",
+		"out-sweep-a.jsonl", "out-sweep-b.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing suffixed export %s: %v", want, err)
+		}
+	}
+	// A baseline mode produces no trace; multi-run sessions skip it
+	// silently instead of failing the sweep.
+	cfg := engine.Config{Iterations: 1,
+		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
+	done := sess.Apply("sweep-2lm", &cfg)
+	r, err := engine.Run2LM(models.MLP(4096, []int{4096, 4096}, 1000, 16), false, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := done(r); err != nil {
+		t.Fatalf("traceless multi run not skipped: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out-sweep-2lm.jsonl")); err == nil {
+		t.Error("traceless run wrote a trace file")
+	}
+	// Its metrics still export.
+	if _, err := os.Stat(filepath.Join(dir, "out-sweep-2lm.csv")); err != nil {
+		t.Errorf("traceless run's metrics missing: %v", err)
+	}
+}
+
+// TestLiveEndpoint serves a completed run over -listen and checks both
+// the Prometheus text and the expvar JSON views.
+func TestLiveEndpoint(t *testing.T) {
+	f := parseFlags(t, "-listen", "127.0.0.1:0")
+	var status strings.Builder
+	sess, err := f.Start(true, &status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	addr := sess.Addr()
+	if addr == "" {
+		t.Fatal("no bound address")
+	}
+	if !strings.Contains(status.String(), addr) {
+		t.Errorf("status %q does not announce %q", status.String(), addr)
+	}
+	smallRun(t, sess, "live-a", false)
+	smallRun(t, sess, "live-b", false)
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	prom := get("/metrics")
+	for _, want := range []string{"# TYPE ca_engine_iterations counter",
+		`run="live-a"`, `run="live-b"`} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "cametrics") || !strings.Contains(vars, "live-a") {
+		t.Errorf("/debug/vars missing published runs: %.200s", vars)
+	}
+	if idx := get("/"); !strings.Contains(idx, "/metrics") {
+		t.Errorf("index page does not link /metrics: %.200s", idx)
+	}
+}

@@ -2,6 +2,7 @@ package tracing
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,17 +21,33 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// ReadJSONL reads a JSONL event log written by WriteJSONL.
+// ReadJSONL reads a JSONL event log written by WriteJSONL: one JSON
+// object per line, blank lines ignored. Malformed input — truncated
+// lines, non-object values like null (which encoding/json would silently
+// decode into a zero event), trailing garbage — fails with the offending
+// line number instead of being skipped or mis-parsed.
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	var events []Event
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if raw[0] != '{' {
+			return nil, fmt.Errorf("tracing: line %d: not a JSON event object (starts with %q)", line, rune(raw[0]))
+		}
 		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
-			return events, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("tracing: reading event %d: %w", len(events), err)
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("tracing: line %d: %w", line, err)
 		}
 		events = append(events, e)
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracing: reading line %d: %w", line+1, err)
+	}
+	return events, nil
 }

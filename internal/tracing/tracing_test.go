@@ -167,6 +167,49 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadJSONLRejectsMalformedInput checks the reader fails loudly, with
+// the offending line number, on every corruption class a truncated or
+// hand-edited trace file can exhibit — instead of skipping lines or
+// silently decoding null into a zero event.
+func TestReadJSONLRejectsMalformedInput(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteJSONL(&good, traceFixture()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(good.String(), "\n"), "\n")
+	tests := []struct {
+		name  string
+		input string
+		want  string // error substring
+	}{
+		{"truncated mid-object", lines[0] + "\n" + lines[1][:len(lines[1])/2] + "\n", "line 2"},
+		{"null line", lines[0] + "\nnull\n", "line 2"},
+		{"non-JSON garbage", "kind,t0,dur\n" + lines[0] + "\n", "line 1"},
+		{"trailing garbage", lines[0] + " extra\n", "line 1"},
+		{"bad field type", `{"kind":"stall","t0":"not-a-number"}` + "\n", "line 1"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSONL(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+	// Blank lines between events are tolerated (hand-concatenated files).
+	withBlank := lines[0] + "\n\n" + strings.Join(lines[1:], "\n") + "\n"
+	events, err := ReadJSONL(strings.NewReader(withBlank))
+	if err != nil {
+		t.Fatalf("blank line rejected: %v", err)
+	}
+	if len(events) != len(lines) {
+		t.Errorf("got %d events, want %d", len(events), len(lines))
+	}
+}
+
 // TestChromeExportIsValidJSON checks the Chrome export parses and contains
 // the expected track structure.
 func TestChromeExportIsValidJSON(t *testing.T) {
