@@ -18,22 +18,26 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 
 	"cachedarrays/internal/alloc"
 	"cachedarrays/internal/dm"
 	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/policy"
+	"cachedarrays/internal/tracing"
 	"cachedarrays/internal/twolm"
 	"cachedarrays/internal/units"
 )
 
 // hotpathResult is one row of BENCH_hotpaths.json.
 type hotpathResult struct {
-	Name     string  `json:"name"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	Iters    int     `json:"iters"`
-	SpeedupX float64 `json:"speedup_x,omitempty"` // indexed vs reference, same scenario
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	Iters       int      `json:"iters"`
+	SpeedupX    float64  `json:"speedup_x,omitempty"`     // indexed vs reference, same scenario
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"` // instrumentation rows: heap allocations per op
 }
 
 // allocChurn drives a steady-state free-then-alloc churn over a heap
@@ -193,6 +197,51 @@ func BenchmarkHotPaths(b *testing.B) {
 			},
 		)
 	}
+
+	// Instrumented clock advances: the per-advance cost of an attached
+	// tracer and metrics registry, with allocs/op measured directly. The
+	// pooled trace chunks and pre-grown sample buffers must keep the
+	// steady-state figure at (amortized) zero — chunk turnover is one
+	// pooled fetch per 1024 events and a sample append lands in
+	// pre-grown capacity.
+	recordAllocs := func(name string, fn func(b *testing.B)) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			fn(b)
+			runtime.ReadMemStats(&after)
+			allocs := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+			add(hotpathResult{
+				Name:    name,
+				NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				Iters:   b.N, AllocsPerOp: &allocs,
+			})
+		})
+	}
+	advance := func(traced, metered bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			c := &memsim.Clock{}
+			if traced {
+				c.Tracer = tracing.New(c.Now)
+			}
+			if metered {
+				reg := metrics.New(0.001)
+				reg.Gauge("bench_gauge", func() float64 { return 1 })
+				c.Metrics = reg
+			}
+			c.Advance(1e-9) // warm the first trace chunk
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Advance(1e-9)
+			}
+		}
+	}
+	recordAllocs("clock-advance/bare", advance(false, false))
+	recordAllocs("clock-advance/traced", advance(true, false))
+	recordAllocs("clock-advance/metered", advance(false, true))
+	recordAllocs("clock-advance/traced+metered", advance(true, true))
 
 	// Eviction storm: a policy working set several times the fast tier,
 	// so every new object drives makeRoomInFast's victim walk and the

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
 	"cachedarrays/internal/experiments"
@@ -26,13 +25,12 @@ import (
 
 func main() {
 	var (
-		only     = flag.String("only", "", "comma list of: table3,fig2,fig3,fig4,fig5,fig6,fig7,fig7async,baselines,beyond,ablations,cxl,copybw,dlrm (default all)")
-		iters    = flag.Int("iters", 4, "training iterations per run")
-		scale    = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulation runs (default: all CPUs)")
-		outdir   = flag.String("outdir", "", "write CSV files here instead of printing text")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		only    = flag.String("only", "", "comma list of: table3,fig2,fig3,fig4,fig5,fig6,fig7,fig7async,baselines,beyond,ablations,cxl,copybw,dlrm (default all)")
+		iters   = flag.Int("iters", 4, "training iterations per run")
+		scale   = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
+		outdir  = flag.String("outdir", "", "write CSV files here instead of printing text")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	shared := runcfg.Register(flag.CommandLine)
 	flag.Parse()
@@ -55,7 +53,13 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(k))] = true
 		}
 	}
-	opts := experiments.Options{Iterations: *iters, Scale: *scale, Parallel: *parallel, Instrument: sess.Apply}
+	// One scheduler serves every figure: worker bound and result cache
+	// are shared, so a cell two figures both need (e.g. baselines' CA:LM
+	// column and the matrix's) simulates once. Progress goes to stderr.
+	opts := experiments.Options{
+		Iterations: *iters, Scale: *scale,
+		Instrument: sess.Apply, Sched: sess.Scheduler(os.Stderr),
+	}
 
 	emit := func(name string, tab *experiments.Table) {
 		if *outdir == "" {

@@ -21,10 +21,9 @@ import (
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
-	"cachedarrays/internal/pagemig"
-	"cachedarrays/internal/policy"
 	"cachedarrays/internal/profiling"
 	"cachedarrays/internal/runcfg"
+	"cachedarrays/internal/sched"
 	"cachedarrays/internal/units"
 )
 
@@ -48,29 +47,6 @@ func buildModel(name string, batch int) (*models.Model, error) {
 		return models.MLP(4096, []int{4096, 4096}, 1000, batch), nil
 	default:
 		return nil, fmt.Errorf("unknown model %q (densenet264, densenet121, resnet200, resnet50, vgg416, vgg116, vgg16, mlp)", name)
-	}
-}
-
-func run(model *models.Model, mode string, cfg engine.Config) (*engine.Result, error) {
-	switch strings.ToUpper(mode) {
-	case "2LM:0", "2LM:O":
-		return engine.Run2LM(model, false, cfg)
-	case "2LM:M":
-		return engine.Run2LM(model, true, cfg)
-	case "CA:0", "CA:O":
-		return engine.RunCA(model, policy.CAZero, cfg)
-	case "CA:L":
-		return engine.RunCA(model, policy.CAL, cfg)
-	case "CA:LM":
-		return engine.RunCA(model, policy.CALM, cfg)
-	case "CA:LMP":
-		return engine.RunCA(model, policy.CALMP, cfg)
-	case "OS:PAGE", "OS":
-		return engine.RunPageMig(model, pagemig.DefaultConfig(), cfg)
-	case "AUTOTM", "PLAN":
-		return engine.RunPlanned(model, nil, cfg)
-	default:
-		return nil, fmt.Errorf("unknown mode %q (2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, OS:page, AutoTM)", mode)
 	}
 }
 
@@ -190,12 +166,18 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "kernels     : %d (%d tensors), %.1f TFLOP/iteration\n",
 		len(model.Kernels), len(model.Tensors), model.TotalFLOPs()/1e12)
 
-	r, err := run(model, *mode, cfg)
+	// A single cell still goes through the scheduler so that -cache can
+	// serve it from a previous process's results (instrumented runs
+	// bypass the cache and always simulate).
+	results, err := sess.Scheduler(nil).Run([]sched.Cell{{
+		Name: runcfg.Name(model.Name, *mode), Model: model, Mode: *mode, Cfg: cfg, Done: done,
+	}})
 	if err != nil {
 		return fail(err)
 	}
-	if err := done(r); err != nil {
-		return fail(err)
+	r := results[0]
+	if st := sess.CacheStats(); st.Hits > 0 {
+		fmt.Fprintf(stdout, "cache       : result served from the -cache directory (no simulation)\n")
 	}
 
 	fmt.Fprintf(stdout, "mode        : %s\n", r.Mode)

@@ -10,6 +10,7 @@ import (
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/sched"
 	"cachedarrays/internal/tracing"
 	"cachedarrays/internal/units"
 )
@@ -40,7 +41,7 @@ func TestRunModeDispatch(t *testing.T) {
 		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
 	for _, mode := range []string{"2LM:0", "2lm:m", "CA:0", "ca:l", "CA:LM",
 		"CA:LMP", "os:page", "AutoTM", "plan"} {
-		r, err := run(m, mode, cfg)
+		r, err := sched.RunMode(m, mode, cfg)
 		if err != nil {
 			t.Errorf("%s: %v", mode, err)
 			continue
@@ -49,7 +50,7 @@ func TestRunModeDispatch(t *testing.T) {
 			t.Errorf("%s: zero iteration time", mode)
 		}
 	}
-	if _, err := run(m, "NUMA", cfg); err == nil {
+	if _, err := sched.RunMode(m, "NUMA", cfg); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

@@ -47,14 +47,18 @@ func main() {
 			list = append(list, n)
 		}
 	}
-	// Instrumentation status goes to stderr so -csv output stays clean.
+	// Instrumentation status and scheduler progress go to stderr so -csv
+	// output stays clean.
 	sess, err := shared.Start(true, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casweep:", err)
 		os.Exit(1)
 	}
 	defer sess.Close()
-	opts := experiments.Options{Iterations: *iters, Scale: *scale, Instrument: sess.Apply}
+	opts := experiments.Options{
+		Iterations: *iters, Scale: *scale,
+		Instrument: sess.Apply, Sched: sess.Scheduler(os.Stderr),
+	}
 	tab, err := experiments.Fig7(opts, list)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casweep:", err)

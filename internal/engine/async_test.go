@@ -107,13 +107,14 @@ func TestAsyncDataDependenciesRespected(t *testing.T) {
 // TestWriteThreadCap checks the §V-d scheduling fix the async mover uses:
 // capping write streams restores peak NVRAM write bandwidth.
 func TestWriteThreadCap(t *testing.T) {
-	p := newPlatform(Config{AsyncMovement: true}.withDefaults())
+	p, _ := acquirePlatform(Config{AsyncMovement: true}.withDefaults())
 	if p.Copier.WriteThreadCap != p.Slow.Profile.WritePeakThreads {
 		t.Fatalf("async copier cap = %d, want %d",
 			p.Copier.WriteThreadCap, p.Slow.Profile.WritePeakThreads)
 	}
 	capped := p.Copier.CopyTime(p.Slow, p.Fast, units.GB)
-	uncapped := newPlatform(Config{}.withDefaults()).Copier.CopyTime(p.Slow, p.Fast, units.GB)
+	uncappedP, _ := acquirePlatform(Config{}.withDefaults())
+	uncapped := uncappedP.Copier.CopyTime(p.Slow, p.Fast, units.GB)
 	if capped >= uncapped {
 		t.Errorf("capped copy (%.4fs) not faster than uncapped (%.4fs)", capped, uncapped)
 	}

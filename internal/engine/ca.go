@@ -32,40 +32,11 @@ func resolveCapacity(c, def int64) int64 {
 	}
 }
 
-// newPlatform builds the platform from a resolved config.
-func newPlatform(cfg Config) *memsim.Platform {
-	clock := &memsim.Clock{}
-	fast := memsim.NewDevice("dram", memsim.DRAM,
-		resolveCapacity(cfg.FastCapacity, memsim.DefaultFastCapacity), memsim.DRAMProfile())
-	slowProfile := memsim.NVRAMProfile()
-	slowName := "nvram"
-	if cfg.SlowTier == "cxl" {
-		slowProfile = memsim.CXLProfile()
-		slowName = "cxl"
-	}
-	slow := memsim.NewDevice(slowName, memsim.NVRAM,
-		resolveCapacity(cfg.SlowCapacity, memsim.DefaultSlowCapacity), slowProfile)
-	copier := memsim.NewCopyEngine(clock, cfg.CopyThreads)
-	copier.Async = cfg.AsyncMovement
-	if cfg.AsyncMovement {
-		// A mover that nothing blocks on is free to pace its write
-		// streams at the destination's optimal parallelism (§V-d).
-		copier.WriteThreadCap = slow.Profile.WritePeakThreads
-	}
-	return &memsim.Platform{
-		Clock:   clock,
-		Fast:    fast,
-		Slow:    slow,
-		Copier:  copier,
-		Compute: memsim.DefaultCompute(),
-	}
-}
-
 // RunCA executes a training run under the CachedArrays runtime in the
 // given operating mode.
 func RunCA(model *models.Model, mode policy.Mode, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	p := newPlatform(cfg)
+	p, release := acquirePlatform(cfg)
 	m, err := newManager(p, cfg)
 	if err != nil {
 		return nil, err
@@ -74,7 +45,7 @@ func RunCA(model *models.Model, mode policy.Mode, cfg Config) (*Result, error) {
 	pcfg := policy.ConfigFor(mode)
 	pcfg.PreferCleanVictims = cfg.PreferCleanVictims
 	pol := policy.NewTieredConfig(m, pcfg, mode.String(), gc)
-	return runCA(model, pol, gc, p, m, cfg)
+	return runCA(model, pol, gc, p, m, cfg, release)
 }
 
 // newManager builds the data manager with the configured heap allocator.
@@ -115,18 +86,21 @@ func newManager(p *memsim.Platform, cfg Config) (*dm.Manager, error) {
 // RunCAConfig is RunCA with explicit policy switches (ablations).
 func RunCAConfig(model *models.Model, pcfg policy.Config, name string, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	p := newPlatform(cfg)
+	p, release := acquirePlatform(cfg)
 	m, err := newManager(p, cfg)
 	if err != nil {
 		return nil, err
 	}
 	gc := gcsim.New(m, p.Clock)
 	pol := policy.NewTieredConfig(m, pcfg, name, gc)
-	return runCA(model, pol, gc, p, m, cfg)
+	return runCA(model, pol, gc, p, m, cfg, release)
 }
 
+// runCA executes the run; release returns the platform to the pool and is
+// called only on the success path (error paths abandon the platform in
+// whatever state the failure left it).
 func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
-	p *memsim.Platform, m *dm.Manager, cfg Config) (*Result, error) {
+	p *memsim.Platform, m *dm.Manager, cfg Config, release func()) (*Result, error) {
 
 	sched := trace.New(model)
 	if err := sched.Validate(); err != nil {
@@ -446,6 +420,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		res.Trace = tr.Events()
 	}
 	finishMetrics(cfg.Metrics, model.Name, pol.Name(), p.Clock.Now())
+	release()
 	res.aggregate()
 	return res, nil
 }

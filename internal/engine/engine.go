@@ -92,6 +92,13 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// Canonical returns the config with every zero field replaced by its
+// paper default — the form every runner normalizes to before executing
+// (and the form Result.Config records). Two configs that canonicalize
+// equally describe the same run, which is what the scheduler's
+// content-addressed result cache keys on.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.FastCapacity == 0 {
 		c.FastCapacity = memsim.DefaultFastCapacity
@@ -154,10 +161,12 @@ type Result struct {
 	Slow        memsim.Counters
 	FastBusUtil float64
 	SlowBusUtil float64
-	// fastPeakBW/slowPeakBW are the mixed peak bandwidths used for the
-	// utilization computation, recorded by the runner.
-	fastPeakBW float64
-	slowPeakBW float64
+	// FastPeakBW/SlowPeakBW are the mixed peak bandwidths used for the
+	// utilization computation, recorded by the runner. Exported so a
+	// Result survives a serialization round trip intact (the scheduler's
+	// result cache relies on reflect.DeepEqual with a fresh run).
+	FastPeakBW float64
+	SlowPeakBW float64
 
 	// Cache holds the DRAM-cache tag statistics (Fig. 4; 2LM only).
 	Cache twolm.Stats
@@ -218,19 +227,19 @@ func (r *Result) aggregate() {
 		r.Cache.DirtyMisses += it.Cache.DirtyMisses / int64(n)
 	}
 	r.ProjectedAsyncTime = r.IterTime - r.MoveTime
-	if r.IterTime > 0 && r.fastPeakBW > 0 {
-		r.FastBusUtil = float64(r.Fast.TotalBytes()) / r.IterTime / r.fastPeakBW
+	if r.IterTime > 0 && r.FastPeakBW > 0 {
+		r.FastBusUtil = float64(r.Fast.TotalBytes()) / r.IterTime / r.FastPeakBW
 	}
-	if r.IterTime > 0 && r.slowPeakBW > 0 {
-		r.SlowBusUtil = float64(r.Slow.TotalBytes()) / r.IterTime / r.slowPeakBW
+	if r.IterTime > 0 && r.SlowPeakBW > 0 {
+		r.SlowBusUtil = float64(r.Slow.TotalBytes()) / r.IterTime / r.SlowPeakBW
 	}
 }
 
 // recordPeaks captures the platform's mixed peak bandwidths for the
 // utilization computation.
 func (r *Result) recordPeaks(p *memsim.Platform) {
-	r.fastPeakBW = (p.Fast.Profile.PeakRead + p.Fast.Profile.PeakWrite) / 2
-	r.slowPeakBW = (p.Slow.Profile.PeakRead + p.Slow.Profile.PeakWrite) / 2
+	r.FastPeakBW = (p.Fast.Profile.PeakRead + p.Fast.Profile.PeakWrite) / 2
+	r.SlowPeakBW = (p.Slow.Profile.PeakRead + p.Slow.Profile.PeakWrite) / 2
 }
 
 // String renders a one-line summary.

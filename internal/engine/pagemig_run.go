@@ -21,7 +21,7 @@ func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, 
 	if pcfg.PageSize == 0 {
 		pcfg = pagemig.DefaultConfig()
 	}
-	p := newPlatform(cfg)
+	p, release := acquirePlatform(cfg)
 	mig, err := pagemig.New(p, pcfg)
 	if err != nil {
 		return nil, err
@@ -133,6 +133,7 @@ func RunPageMig(model *models.Model, pcfg pagemig.Config, cfg Config) (*Result, 
 		}
 	}
 	finishMetrics(cfg.Metrics, model.Name, "OS:page", p.Clock.Now())
+	release()
 	res.aggregate()
 	return res, nil
 }

@@ -17,7 +17,7 @@ import (
 // If the plan is nil, one is built from the model and the DRAM budget.
 func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	p := newPlatform(cfg)
+	p, release := acquirePlatform(cfg)
 	m, err := newManager(p, cfg)
 	if err != nil {
 		return nil, err
@@ -195,6 +195,7 @@ func RunPlanned(model *models.Model, plan *planner.Plan, cfg Config) (*Result, e
 	}
 	res.DM = m.Stats()
 	finishMetrics(cfg.Metrics, model.Name, "AutoTM:plan", p.Clock.Now())
+	release()
 	res.aggregate()
 	return res, nil
 }

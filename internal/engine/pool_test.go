@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/policy"
+)
+
+// TestPooledPlatformReuseMatchesFresh is the platform-pooling property
+// test: after the pool has been dirtied by runs in every instrumented
+// and configuration variant that shares the same pool key — async
+// movement, tracing, fault injection, per-advance audits, a metrics
+// registry — a plain run must still be reflect.DeepEqual-identical to
+// the run that first populated the pool. Any hook or state leaking
+// through a release would break this.
+func TestPooledPlatformReuseMatchesFresh(t *testing.T) {
+	cfg := Config{Iterations: 2}
+	base, err := RunCA(resnetLarge, policy.CALM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirty := []Config{
+		{Iterations: 2, AsyncMovement: true},
+		{Iterations: 2, Trace: true},
+		{Iterations: 2, TraceEvents: 16},
+		{Iterations: 2, FaultSpec: "seed=42;allocfail:fast:t0=0.1,t1=0.5,p=0.5;copystall:nvram:t0=0,stall=2ms"},
+		{Iterations: 2, CheckInvariants: true},
+	}
+	for _, d := range dirty {
+		if _, err := RunCA(resnetLarge, policy.CALM, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := metrics.New(0.5)
+	if _, err := RunCA(resnetLarge, policy.CALM, Config{Iterations: 2, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Samples() == 0 {
+		t.Fatal("metered dirty run recorded no samples")
+	}
+
+	again, err := RunCA(resnetLarge, policy.CALM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, again) {
+		t.Fatal("run on a pool-recycled platform differs from the first run")
+	}
+	// And the reverse hazard: a sync run between two async runs must not
+	// perturb the async timings (Copier.Async/WriteThreadCap are set per
+	// acquire, not trusted from the pooled platform).
+	acfg := Config{Iterations: 2, AsyncMovement: true}
+	async1, err := RunCA(resnetLarge, policy.CALM, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCA(resnetLarge, policy.CALM, cfg); err != nil {
+		t.Fatal(err)
+	}
+	async2, err := RunCA(resnetLarge, policy.CALM, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(async1, async2) {
+		t.Fatal("async run after a sync pool cycle differs")
+	}
+}
+
+// TestPoolRecyclesAcrossModes: every engine entry point releases its
+// platform back to the pool on success, so a mixed-mode sequence reuses
+// one platform per key instead of growing the pool per run.
+func TestPoolRecyclesAcrossModes(t *testing.T) {
+	cfg := Config{Iterations: 1}
+	run := func() {
+		if _, err := RunCA(vggLarge, policy.CALM, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run2LM(vggLarge, true, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunPlanned(vggLarge, nil, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // populate the pool for this key
+	key := platformKey{
+		fast:     cfg.Canonical().FastCapacity,
+		slow:     cfg.Canonical().SlowCapacity,
+		threads:  cfg.Canonical().CopyThreads,
+		slowTier: cfg.Canonical().SlowTier,
+	}
+	platformMu.Lock()
+	depth := len(platformPool[key])
+	platformMu.Unlock()
+	if depth == 0 {
+		t.Fatal("no platform returned to the pool")
+	}
+	run() // serial reruns must recycle, not grow
+	platformMu.Lock()
+	after := len(platformPool[key])
+	platformMu.Unlock()
+	if after != depth {
+		t.Fatalf("pool grew from %d to %d across serial reruns", depth, after)
+	}
+}

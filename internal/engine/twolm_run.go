@@ -24,7 +24,7 @@ import (
 // systems and only the data-movement mechanism differs.
 func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	p := newPlatform(cfg)
+	p, release := acquirePlatform(cfg)
 	cache, err := twolm.New(p.Fast, p.Slow, cfg.TwoLM)
 	if err != nil {
 		return nil, err
@@ -186,6 +186,7 @@ func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
 	}
 	res.Cache = twolm.Stats{}
 	finishMetrics(cfg.Metrics, model.Name, mode, p.Clock.Now())
+	release()
 	res.aggregate()
 	return res, nil
 }

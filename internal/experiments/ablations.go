@@ -5,7 +5,7 @@ import (
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
-	"cachedarrays/internal/policy"
+	"cachedarrays/internal/sched"
 )
 
 // Ablations isolates the design choices DESIGN.md calls out, all on the
@@ -18,7 +18,7 @@ import (
 //     Fig. 2 for side-by-side reading.
 func Ablations(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
-	m := buildModel(models.PaperLargeModels()[0], opts.Scale) // DenseNet 264
+	pm := models.PaperLargeModels()[0] // DenseNet 264
 	t := &Table{
 		Title: "ablations — DenseNet 264, CA:LM variants",
 		Header: []string{"variant", "iter (s)", "move (s)", "NVRAM write (GB)",
@@ -30,26 +30,32 @@ func Ablations(opts Options) (*Table, error) {
 	}
 	type variant struct {
 		name string
-		mode policy.Mode
+		mode string
 		mut  func(*engine.Config)
 	}
 	variants := []variant{
-		{"baseline (first-fit)", policy.CALM, func(*engine.Config) {}},
-		{"best-fit allocator", policy.CALM, func(c *engine.Config) { c.Allocator = "bestfit" }},
-		{"buddy allocator", policy.CALM, func(c *engine.Config) { c.Allocator = "buddy" }},
-		{"no archive hints", policy.CALM, func(c *engine.Config) { c.NoArchiveHints = true }},
-		{"clean-first victims", policy.CALM, func(c *engine.Config) { c.PreferCleanVictims = true }},
-		{"prefetch (CA:LMP)", policy.CALMP, func(*engine.Config) {}},
-		{"async mover", policy.CALM, func(c *engine.Config) { c.AsyncMovement = true }},
+		{"baseline (first-fit)", "CA:LM", func(*engine.Config) {}},
+		{"best-fit allocator", "CA:LM", func(c *engine.Config) { c.Allocator = "bestfit" }},
+		{"buddy allocator", "CA:LM", func(c *engine.Config) { c.Allocator = "buddy" }},
+		{"no archive hints", "CA:LM", func(c *engine.Config) { c.NoArchiveHints = true }},
+		{"clean-first victims", "CA:LM", func(c *engine.Config) { c.PreferCleanVictims = true }},
+		{"prefetch (CA:LMP)", "CA:LMP", func(*engine.Config) {}},
+		{"async mover", "CA:LM", func(c *engine.Config) { c.AsyncMovement = true }},
 	}
+	var cells []sched.Cell
 	for _, v := range variants {
 		cfg := opts.config()
 		v.mut(&cfg)
-		r, err := opts.run(runName("ablations", v.name), cfg,
-			func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, v.mode, c) })
-		if err != nil {
-			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
-		}
+		cells = append(cells, sched.Cell{
+			Name:  runName("ablations", v.name),
+			Model: buildModel(pm, opts.Scale), Mode: v.mode, Cfg: cfg})
+	}
+	results, err := opts.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		r := results[i]
 		t.Rows = append(t.Rows, []string{
 			v.name, secs(r.IterTime), secs(r.MoveTime),
 			gb(r.Slow.WriteBytes),

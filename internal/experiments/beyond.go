@@ -3,6 +3,7 @@ package experiments
 import (
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
+	"cachedarrays/internal/sched"
 	"cachedarrays/internal/twolm"
 )
 
@@ -32,37 +33,43 @@ func BeyondCNNs(opts Options) (*Table, error) {
 		},
 	}
 
-	addRow := func(m *models.Model, runCfg engine.Config) error {
-		row := []string{m.Name}
-		for _, mode := range ModeNames {
-			r, err := opts.run(runName("beyond", m.Name, mode), runCfg,
-				func(c engine.Config) (*engine.Result, error) { return runCell(m, mode, c) })
-			if err != nil {
-				return err
-			}
-			row = append(row, secs(r.IterTime))
-		}
-		t.Rows = append(t.Rows, row)
-		return nil
-	}
-
-	if err := addRow(models.Transformer(cfg), opts.config()); err != nil {
-		return nil, err
-	}
-
 	// The LSTM's unrolled states (BPTT) total single-digit gigabytes, so
 	// it runs against a proportionally shrunk platform to stay
-	// tier-bound.
+	// tier-bound. The model builders are deterministic, so each cell gets
+	// a private instance (concurrent cells must not share a model).
 	lcfg := models.DefaultLSTMConfig()
 	lcfg.SeqLen, lcfg.BatchSize = 512, 128
-	lstm := models.LSTM(lcfg)
-	budget := lstm.PeakFootprint() / 3
+	budget := models.LSTM(lcfg).PeakFootprint() / 3
 	lstmCfg := opts.config()
 	lstmCfg.FastCapacity = budget
-	lstmCfg.SlowCapacity = 16 * lstm.PeakFootprint()
+	lstmCfg.SlowCapacity = 16 * models.LSTM(lcfg).PeakFootprint()
 	lstmCfg.TwoLM = twolmConfigFor(budget)
-	if err := addRow(lstm, lstmCfg); err != nil {
+
+	rows := []struct {
+		build func() *models.Model
+		cfg   engine.Config
+	}{
+		{func() *models.Model { return models.Transformer(cfg) }, opts.config()},
+		{func() *models.Model { return models.LSTM(lcfg) }, lstmCfg},
+	}
+	var cells []sched.Cell
+	for _, rw := range rows {
+		for _, mode := range ModeNames {
+			m := rw.build()
+			cells = append(cells, sched.Cell{
+				Name: runName("beyond", m.Name, mode), Model: m, Mode: mode, Cfg: rw.cfg})
+		}
+	}
+	results, err := opts.runCells(cells)
+	if err != nil {
 		return nil, err
+	}
+	for ri, rw := range rows {
+		row := []string{rw.build().Name}
+		for mi := range ModeNames {
+			row = append(row, secs(results[ri*len(ModeNames)+mi].IterTime))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
 }

@@ -1,8 +1,8 @@
 package experiments
 
 import (
-	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
+	"cachedarrays/internal/sched"
 )
 
 // CXLPortability runs the §VI platform-portability claim: "when migrating
@@ -21,18 +21,25 @@ func CXLPortability(opts Options) (*Table, error) {
 			"CXL's symmetric bandwidth shrinks the writeback penalty, so the optimization gaps compress",
 		},
 	}
+	modes := []string{"CA:0", "CA:L", "CA:LM", "CA:LMP"}
+	cfg := opts.config()
+	cfg.SlowTier = "cxl"
+	var cells []sched.Cell
 	for _, pm := range models.PaperLargeModels() {
-		m := buildModel(pm, opts.Scale)
+		for _, mode := range modes {
+			cells = append(cells, sched.Cell{
+				Name:  runName("cxl", pm.Name, mode),
+				Model: buildModel(pm, opts.Scale), Mode: mode, Cfg: cfg})
+		}
+	}
+	results, err := opts.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for mi, pm := range models.PaperLargeModels() {
 		row := []string{pm.Name}
-		for _, mode := range []string{"CA:0", "CA:L", "CA:LM", "CA:LMP"} {
-			cfg := opts.config()
-			cfg.SlowTier = "cxl"
-			r, err := opts.run(runName("cxl", pm.Name, mode), cfg,
-				func(c engine.Config) (*engine.Result, error) { return runCell(m, mode, c) })
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, secs(r.IterTime))
+		for vi := range modes {
+			row = append(row, secs(results[mi*len(modes)+vi].IterTime))
 		}
 		t.Rows = append(t.Rows, row)
 	}

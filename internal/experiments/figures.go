@@ -5,7 +5,7 @@ import (
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
-	"cachedarrays/internal/policy"
+	"cachedarrays/internal/sched"
 	"cachedarrays/internal/units"
 )
 
@@ -68,19 +68,18 @@ func Fig3(opts Options, maxPoints int) (*Table, error) {
 	if maxPoints <= 0 {
 		maxPoints = 64
 	}
-	m := buildModel(models.PaperLargeModels()[1], opts.Scale) // ResNet 200
+	pm := models.PaperLargeModels()[1] // ResNet 200
 	cfg := opts.config()
 	cfg.SampleHeap = true
-	r0, err := opts.run(runName("fig3", m.Name, "2lm0"), cfg,
-		func(c engine.Config) (*engine.Result, error) { return engine.Run2LM(m, false, c) })
+	name := buildModel(pm, opts.Scale).Name
+	results, err := opts.runCells([]sched.Cell{
+		{Name: runName("fig3", name, "2lm0"), Model: buildModel(pm, opts.Scale), Mode: "2LM:0", Cfg: cfg},
+		{Name: runName("fig3", name, "2lmM"), Model: buildModel(pm, opts.Scale), Mode: "2LM:M", Cfg: cfg},
+	})
 	if err != nil {
 		return nil, err
 	}
-	rm, err := opts.run(runName("fig3", m.Name, "2lmM"), cfg,
-		func(c engine.Config) (*engine.Result, error) { return engine.Run2LM(m, true, c) })
-	if err != nil {
-		return nil, err
-	}
+	r0, rm := results[0], results[1]
 	t := &Table{
 		Title:  "Fig. 3 — resident heap (GB) through one ResNet iteration",
 		Header: []string{"series", "time (s)", "heap (GB)"},
@@ -195,23 +194,29 @@ func Fig7Async(opts Options, budgets []int64) (*Table, error) {
 			"DenseNet/ResNet flatten out; VGG remains read-bound, exactly as the paper anticipates",
 		},
 	}
+	var cells []sched.Cell
 	for _, pm := range models.PaperSmallModels() {
-		m := buildModel(pm, opts.Scale)
 		for _, b := range budgets {
 			cfg := opts.config()
 			cfg.FastCapacity = b
-			sync, err := opts.run(runName("fig7async", pm.Name, fmt.Sprint(b), "sync"), cfg,
-				func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
-			if err != nil {
-				return nil, err
-			}
 			acfg := cfg
 			acfg.AsyncMovement = true
-			async, err := opts.run(runName("fig7async", pm.Name, fmt.Sprint(b), "async"), acfg,
-				func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
-			if err != nil {
-				return nil, err
-			}
+			cells = append(cells,
+				sched.Cell{Name: runName("fig7async", pm.Name, fmt.Sprint(b), "sync"),
+					Model: buildModel(pm, opts.Scale), Mode: "CA:LM", Cfg: cfg},
+				sched.Cell{Name: runName("fig7async", pm.Name, fmt.Sprint(b), "async"),
+					Model: buildModel(pm, opts.Scale), Mode: "CA:LM", Cfg: acfg})
+		}
+	}
+	results, err := opts.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, pm := range models.PaperSmallModels() {
+		for _, b := range budgets {
+			sync, async := results[i], results[i+1]
+			i += 2
 			shown := b
 			if shown == engine.NVRAMOnly {
 				shown = 0
@@ -241,16 +246,25 @@ func Fig7(opts Options, budgets []int64) (*Table, error) {
 			"the async projection stays nearly flat for DenseNet/ResNet; VGG remains read-bound",
 		},
 	}
+	var cells []sched.Cell
 	for _, pm := range models.PaperSmallModels() {
-		m := buildModel(pm, opts.Scale)
 		for _, b := range budgets {
 			cfg := opts.config()
 			cfg.FastCapacity = b
-			r, err := opts.run(runName("fig7", pm.Name, fmt.Sprint(b)), cfg,
-				func(c engine.Config) (*engine.Result, error) { return engine.RunCA(m, policy.CALM, c) })
-			if err != nil {
-				return nil, fmt.Errorf("%s @ %d: %w", pm.Name, b, err)
-			}
+			cells = append(cells, sched.Cell{
+				Name:  runName("fig7", pm.Name, fmt.Sprint(b)),
+				Model: buildModel(pm, opts.Scale), Mode: "CA:LM", Cfg: cfg})
+		}
+	}
+	results, err := opts.runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, pm := range models.PaperSmallModels() {
+		for _, b := range budgets {
+			r := results[i]
+			i++
 			shown := b
 			if shown == engine.NVRAMOnly {
 				shown = 0

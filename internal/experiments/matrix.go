@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
-	"cachedarrays/internal/policy"
+	"cachedarrays/internal/sched"
 )
 
 // Options tune how experiments run.
@@ -15,7 +14,8 @@ type Options struct {
 	// Iterations per run (paper: 4; the first is warm-up).
 	Iterations int
 	// Parallel bounds concurrent simulation runs (each run is
-	// independent; 0 = serial).
+	// independent; 0 = serial). Ignored when Sched is set — the
+	// scheduler's own worker bound applies.
 	Parallel int
 	// Scale divides every model's batch size, shrinking footprints and
 	// host runtime proportionally for quick looks; 0 or 1 = paper scale.
@@ -30,9 +30,36 @@ type Options struct {
 	// it may attach per-run instrumentation (a metrics registry, tracing,
 	// fault schedules — runcfg.Session.Apply has this shape). The
 	// returned callback (may be nil) receives the completed result for
-	// per-run exports. It must be safe for concurrent calls: RunMatrix
-	// executes cells in parallel.
+	// per-run exports. It must be safe for concurrent calls: cells
+	// execute in parallel.
 	Instrument func(name string, cfg *engine.Config) func(*engine.Result) error
+	// Sched, when non-nil, executes every driver's cells: its worker
+	// pool bounds concurrency and its result cache (if any) memoizes
+	// repeated cells across figures and processes. Nil gets a private
+	// uncached scheduler with Parallel workers.
+	Sched *sched.Scheduler
+}
+
+// scheduler returns the options' scheduler, defaulting to a private
+// uncached one bounded by Parallel.
+func (o Options) scheduler() *sched.Scheduler {
+	if o.Sched != nil {
+		return o.Sched
+	}
+	return &sched.Scheduler{Workers: o.Parallel}
+}
+
+// runCells threads every cell through the Instrument hook (which may
+// attach per-run instrumentation to the cell's config — instrumented
+// cells automatically bypass the scheduler's cache) and executes the
+// batch on the scheduler. Results come back in cell order.
+func (o Options) runCells(cells []sched.Cell) ([]*engine.Result, error) {
+	if o.Instrument != nil {
+		for i := range cells {
+			cells[i].Done = o.Instrument(cells[i].Name, &cells[i].Cfg)
+		}
+	}
+	return o.scheduler().Run(cells)
 }
 
 func (o Options) withDefaults() Options {
@@ -96,24 +123,6 @@ func (o Options) config() engine.Config {
 	return cfg
 }
 
-// run executes one named engine run through the Instrument hook.
-func (o Options) run(name string, cfg engine.Config,
-	fn func(engine.Config) (*engine.Result, error)) (*engine.Result, error) {
-
-	var done func(*engine.Result) error
-	if o.Instrument != nil {
-		done = o.Instrument(name, &cfg)
-	}
-	r, err := fn(cfg)
-	if err != nil || done == nil {
-		return r, err
-	}
-	if err := done(r); err != nil {
-		return nil, err
-	}
-	return r, nil
-}
-
 // runName builds a filesystem- and label-safe run name from parts:
 // lowered, with anything outside [a-z0-9.-] folded to '_', joined by '-'.
 func runName(parts ...string) string {
@@ -134,79 +143,38 @@ func runName(parts ...string) string {
 	return b.String()
 }
 
-// runCell executes one (model, mode) run.
-func runCell(m *models.Model, mode string, cfg engine.Config) (*engine.Result, error) {
-	switch mode {
-	case "2LM:0":
-		return engine.Run2LM(m, false, cfg)
-	case "2LM:M":
-		return engine.Run2LM(m, true, cfg)
-	case "CA:0":
-		return engine.RunCA(m, policy.CAZero, cfg)
-	case "CA:L":
-		return engine.RunCA(m, policy.CAL, cfg)
-	case "CA:LM":
-		return engine.RunCA(m, policy.CALM, cfg)
-	case "CA:LMP":
-		return engine.RunCA(m, policy.CALMP, cfg)
-	default:
-		return nil, fmt.Errorf("experiments: unknown mode %q", mode)
-	}
-}
-
-// RunMatrix executes every large network under every operating mode. Runs
-// are independent simulations, so they parallelize across goroutines.
+// RunMatrix executes every large network under every operating mode on
+// the scheduler. Each cell builds its own model: the graph builders are
+// cheap and deterministic, and a private model per run removes any chance
+// of a data race between concurrent cells that would otherwise share one
+// *models.Model.
 func RunMatrix(opts Options) (*Matrix, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
 	mat := &Matrix{Results: make(map[Cell]*engine.Result)}
 
-	// Each job builds its own model: the graph builders are cheap and
-	// deterministic, and a private model per run removes any chance of a
-	// data race between the six concurrent runCell goroutines that would
-	// otherwise share one *models.Model.
-	type job struct {
-		cell Cell
-		pm   models.PaperModel
-	}
-	var jobs []job
+	var (
+		cells []sched.Cell
+		keys  []Cell
+	)
 	for _, pm := range models.PaperLargeModels() {
 		mat.Models = append(mat.Models, pm.Name)
 		for _, mode := range ModeNames {
-			jobs = append(jobs, job{Cell{pm.Name, mode}, pm})
+			cells = append(cells, sched.Cell{
+				Name:  runName("matrix", pm.Name, mode),
+				Model: buildModel(pm, opts.Scale),
+				Mode:  mode,
+				Cfg:   cfg,
+			})
+			keys = append(keys, Cell{pm.Name, mode})
 		}
 	}
-
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		sem      = make(chan struct{}, opts.Parallel)
-	)
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := opts.run(runName("matrix", j.cell.Model, j.cell.Mode), cfg,
-				func(c engine.Config) (*engine.Result, error) {
-					return runCell(buildModel(j.pm, opts.Scale), j.cell.Mode, c)
-				})
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s %s: %w", j.cell.Model, j.cell.Mode, err)
-				}
-				return
-			}
-			mat.Results[j.cell] = r
-		}(j)
+	results, err := opts.runCells(cells)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i, r := range results {
+		mat.Results[keys[i]] = r
 	}
 	return mat, nil
 }

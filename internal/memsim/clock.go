@@ -58,5 +58,13 @@ func (c *Clock) Advance(dt float64) {
 }
 
 // Reset rewinds the clock to zero. Experiments reuse one platform across
-// iterations and reset between runs.
-func (c *Clock) Reset() { c.now = 0 }
+// iterations and reset between runs. An attached metrics registry rewinds
+// with the clock: its next sampling boundary and recorded samples belong
+// to the old timeline, so keeping them would make a reused clock+registry
+// pair observably different from a fresh one (stale boundary, no early
+// samples). Callers that need the old samples must detach the registry
+// (Metrics = nil) before resetting — Platform.Reset does.
+func (c *Clock) Reset() {
+	c.now = 0
+	c.Metrics.Rewind()
+}

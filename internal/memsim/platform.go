@@ -140,14 +140,27 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 // (180 GB DRAM + 1300 GB NVRAM, unbacked).
 func DefaultPlatform() *Platform { return NewPlatform(PlatformConfig{}) }
 
-// Reset rewinds the clock, zeroes both devices' counters and drains the
-// copy engine's asynchronous queue, so a reused platform is
-// indistinguishable from a fresh one.
+// Reset rewinds the clock, zeroes both devices' counters, drains the copy
+// engine's asynchronous queue and detaches every per-run instrumentation
+// hook (tracer, metrics registry, invariant hook, fault injector), so a
+// reused platform is indistinguishable from a fresh one. Configuration
+// (capacities, profiles, Copier.Async, WriteThreadCap) is deliberately
+// kept — it describes the platform, not a run. The metrics registry is
+// detached *before* the clock resets: the finished run's samples belong
+// to its owner and must survive for export (Clock.Reset rewinds any
+// still-attached registry).
 func (p *Platform) Reset() {
+	p.Clock.Tracer = nil
+	p.Clock.Metrics = nil
+	p.Clock.OnAdvance = nil
+	p.Fast.Faults = nil
+	p.Slow.Faults = nil
 	p.Clock.Reset()
 	p.Fast.ResetCounters()
 	p.Slow.ResetCounters()
 	if p.Copier != nil {
+		p.Copier.Tracer = nil
+		p.Copier.Faults = nil
 		p.Copier.Reset()
 	}
 }

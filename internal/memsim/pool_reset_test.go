@@ -1,0 +1,89 @@
+package memsim
+
+import (
+	"testing"
+
+	"cachedarrays/internal/faults"
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/units"
+)
+
+// TestClockResetRewindsMetrics is the regression test for the
+// platform-pooling sampling-boundary bug: Clock.Reset used to leave an
+// attached registry's next sampling boundary (and recorded samples) on
+// the old timeline, so a reused clock+registry pair skipped the early
+// samples a fresh pair records.
+func TestClockResetRewindsMetrics(t *testing.T) {
+	sampled := func(c *Clock) int {
+		reg := metrics.New(0.5)
+		reg.Gauge("g", func() float64 { return 1 })
+		c.Metrics = reg
+		for i := 0; i < 10; i++ {
+			c.Advance(0.3)
+		}
+		c.Metrics = nil
+		return reg.Samples()
+	}
+
+	fresh := &Clock{}
+	want := sampled(fresh)
+	if want == 0 {
+		t.Fatal("fresh clock recorded no samples")
+	}
+
+	reused := &Clock{}
+	warmup := metrics.New(0.5)
+	warmup.Gauge("g", func() float64 { return 1 })
+	reused.Metrics = warmup
+	reused.Advance(1.7) // leave the boundary mid-interval
+	reused.Reset()
+	if reused.Now() != 0 {
+		t.Fatalf("clock at %v after Reset", reused.Now())
+	}
+	if warmup.Samples() != 0 {
+		t.Fatalf("attached registry kept %d samples across Reset", warmup.Samples())
+	}
+	reused.Metrics = nil
+	if got := sampled(reused); got != want {
+		t.Fatalf("reused clock sampled %d times, fresh %d", got, want)
+	}
+}
+
+// TestPlatformResetDetachesHooks: Platform.Reset must clear every
+// per-run instrumentation hook (a pooled platform must never leak one
+// run's tracer, registry, audit hook or fault injector into the next
+// run) — while the detached registry keeps its samples for export.
+func TestPlatformResetDetachesHooks(t *testing.T) {
+	p := NewPlatform(PlatformConfig{
+		FastCapacity: units.MB, SlowCapacity: units.MB, CopyThreads: 2,
+	})
+	reg := metrics.New(1e-7) // a 64 KB copy advances only microseconds of virtual time
+	reg.Gauge("g", func() float64 { return 1 })
+	p.Clock.Metrics = reg
+	p.Clock.OnAdvance = func(now, dt float64) {}
+
+	p.Copier.Copy(p.Slow, 0, p.Fast, 0, 64*units.KB)
+	if reg.Samples() == 0 {
+		t.Fatal("workload recorded no samples")
+	}
+	got := reg.Samples()
+
+	// Attach injectors after the workload: the test only checks that
+	// Reset detaches them (a zero injector cannot serve traffic).
+	p.Fast.Faults = &faults.Injector{}
+	p.Slow.Faults = &faults.Injector{}
+	p.Copier.Faults = &faults.Injector{}
+
+	p.Reset()
+	if p.Clock.Tracer != nil || p.Clock.Metrics != nil || p.Clock.OnAdvance != nil {
+		t.Fatal("Platform.Reset left a clock hook attached")
+	}
+	if p.Fast.Faults != nil || p.Slow.Faults != nil || p.Copier.Faults != nil {
+		t.Fatal("Platform.Reset left a fault injector attached")
+	}
+	// The finished run's samples belong to its owner: the registry was
+	// detached before the clock rewound, so they must survive.
+	if reg.Samples() != got {
+		t.Fatalf("Reset rewound the detached registry: %d samples, had %d", reg.Samples(), got)
+	}
+}

@@ -188,6 +188,26 @@ func (r *Registry) Tick(now, dt float64) {
 	}
 }
 
+// Rewind discards all samples and re-arms the first sampling boundary, so
+// a registry attached to a clock that rewinds to zero behaves exactly like
+// a freshly constructed one. Sample storage keeps its capacity: the next
+// run's sampling is allocation-free up to the previous run's length.
+// Clock.Reset calls this for any attached registry — without it, a reused
+// clock would leave the registry's next-boundary armed at the old run's
+// end and the new run would record no early samples.
+func (r *Registry) Rewind() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.next = r.interval
+	r.times = r.times[:0]
+	for _, c := range r.cols {
+		c.samples = c.samples[:0]
+	}
+}
+
 // Flush makes the series end with the run's final state at the given
 // time. If a sample already exists at exactly that time (the last clock
 // advance crossed a boundary) it is re-taken in place — state mutated
@@ -213,12 +233,23 @@ func (r *Registry) Flush(now float64) {
 	}
 }
 
+// sampleChunk sizes the initial sample-buffer allocation: paper-scale
+// runs take a few hundred points per iteration, so one up-front chunk
+// absorbs most of the append-growth reallocations on the sampling path.
+const sampleChunk = 512
+
 // sample appends one point to every series at virtual time now.
 func (r *Registry) sample(now float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if cap(r.times) == 0 {
+		r.times = make([]float64, 0, sampleChunk)
+	}
 	r.times = append(r.times, now)
 	for _, c := range r.cols {
+		if cap(c.samples) == 0 {
+			c.samples = make([]float64, 0, sampleChunk)
+		}
 		c.samples = append(c.samples, c.fn())
 	}
 }

@@ -13,15 +13,17 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/sched"
 	"cachedarrays/internal/tracing"
 )
 
-// Flags holds the shared instrumentation flag values.
+// Flags holds the shared instrumentation and scheduling flag values.
 type Flags struct {
 	Trace           string
 	Check           bool
@@ -30,6 +32,8 @@ type Flags struct {
 	MetricsSummary  string
 	MetricsInterval float64
 	Listen          string
+	Parallel        int
+	Cache           string
 }
 
 // Register installs the shared instrumentation flags on a flag set.
@@ -49,6 +53,10 @@ func Register(fs *flag.FlagSet) *Flags {
 		"metrics sampling cadence in virtual seconds")
 	fs.StringVar(&f.Listen, "listen", "",
 		"serve live metrics over HTTP on this address (Prometheus text at /metrics, expvar at /debug/vars)")
+	fs.IntVar(&f.Parallel, "parallel", runtime.GOMAXPROCS(0),
+		"concurrent simulation runs (each run stays deterministic; 1 = serial)")
+	fs.StringVar(&f.Cache, "cache", "",
+		"content-addressed result cache directory: identical runs are served from disk instead of re-simulated (instrumented runs bypass it)")
 	return f
 }
 
@@ -84,9 +92,10 @@ type Session struct {
 	flags *Flags
 	multi bool
 
-	hub *metrics.Hub
-	srv *http.Server
-	ln  net.Listener
+	hub   *metrics.Hub
+	srv   *http.Server
+	ln    net.Listener
+	cache *sched.Cache
 
 	// mu serializes status prints and output writes from parallel sweeps.
 	mu     sync.Mutex
@@ -119,7 +128,28 @@ func (f *Flags) Start(multi bool, status io.Writer) (*Session, error) {
 		go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 		fmt.Fprintf(status, "metrics     : serving on http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
 	}
+	if f.Cache != "" {
+		cache, err := sched.OpenCache(f.Cache)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
 	return s, nil
+}
+
+// Scheduler builds the session's run scheduler: the -parallel worker
+// bound, the -cache result store (nil when off) and a progress line on
+// progress (usually stderr, keeping -csv stdout machine-readable; nil
+// disables it).
+func (s *Session) Scheduler(progress io.Writer) *sched.Scheduler {
+	return &sched.Scheduler{Workers: s.flags.Parallel, Cache: s.cache, Progress: progress}
+}
+
+// CacheStats reports the session cache's traffic (zeros when -cache is
+// off).
+func (s *Session) CacheStats() sched.CacheStats {
+	return s.cache.Stats()
 }
 
 // Addr returns the live endpoint's bound address ("" when -listen is off);

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/policy"
+	"cachedarrays/internal/sched"
 	"cachedarrays/internal/units"
 )
 
@@ -206,5 +208,57 @@ func TestLiveEndpoint(t *testing.T) {
 	}
 	if idx := get("/"); !strings.Contains(idx, "/metrics") {
 		t.Errorf("index page does not link /metrics: %.200s", idx)
+	}
+}
+
+// TestSchedulerFlags wires -parallel and -cache through Start into the
+// session scheduler: a second session over the same cache directory
+// must serve the identical run from disk, and an instrumented session
+// must bypass the cache.
+func TestSchedulerFlags(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	model := func() *models.Model { return models.MLP(4096, []int{4096, 4096}, 1000, 16) }
+	cfg := engine.Config{Iterations: 2,
+		FastCapacity: 2 * units.GB, SlowCapacity: 16 * units.GB}
+
+	runOnce := func(f *Flags) (*engine.Result, sched.CacheStats) {
+		sess, err := f.Start(false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		c := cfg
+		done := sess.Apply("flagtest", &c)
+		results, err := sess.Scheduler(nil).Run([]sched.Cell{
+			{Name: "flagtest", Model: model(), Mode: "CA:LM", Cfg: c, Done: done}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0], sess.CacheStats()
+	}
+
+	cold, st := runOnce(parseFlags(t, "-parallel", "2", "-cache", dir))
+	if st.Stores != 1 || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want 1 store", st)
+	}
+	warm, st := runOnce(parseFlags(t, "-cache", dir))
+	if st.Hits != 1 {
+		t.Fatalf("warm stats = %+v, want 1 hit", st)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cached result differs across processes (sessions)")
+	}
+
+	// A traced session must not touch the cache.
+	tracePath := filepath.Join(t.TempDir(), "t.jsonl")
+	_, st = runOnce(parseFlags(t, "-cache", dir, "-trace", tracePath))
+	if st.Hits != 0 || st.Stores != 0 {
+		t.Fatalf("instrumented session touched the cache: %+v", st)
+	}
+
+	// Without -cache the session scheduler is uncached and CacheStats is
+	// all zeros.
+	if _, st := runOnce(parseFlags(t)); st != (sched.CacheStats{}) {
+		t.Fatalf("cacheless session has stats %+v", st)
 	}
 }

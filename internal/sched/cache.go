@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cachedarrays/internal/engine"
+)
+
+// cacheHeader versions the on-disk format; the trailing hex digest
+// authenticates the body, so a truncated, bit-flipped or hand-edited file
+// is detected and recomputed instead of trusted.
+const cacheHeader = "cachedarrays-cache v1"
+
+// Cache is a content-addressed store of engine results: an in-memory map
+// for hits within one process, optionally backed by a directory of
+// integrity-checked JSON files for cross-process reuse. All methods are
+// safe for concurrent use; a nil *Cache never hits and never stores.
+type Cache struct {
+	dir string
+
+	mu    sync.Mutex
+	mem   map[string]*engine.Result
+	stats CacheStats
+}
+
+// CacheStats counts the cache's traffic.
+type CacheStats struct {
+	Hits    int64 // results served without simulation
+	Misses  int64 // lookups that fell through to the simulator
+	Stores  int64 // results written into the cache
+	Corrupt int64 // disk entries rejected by the integrity check
+}
+
+// OpenCache returns a cache persisting to dir ("" = in-memory only). The
+// directory is created if missing.
+func OpenCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("sched: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: map[string]*engine.Result{}}, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the cached result for key, consulting memory first and the
+// backing directory second. Disk entries failing the integrity check
+// count as corrupt and miss (the caller recomputes and overwrites).
+func (c *Cache) Get(key string) (*engine.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if r, ok := c.mem[key]; ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return r, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if r, err := c.load(key); err == nil {
+			c.mu.Lock()
+			c.mem[key] = r
+			c.stats.Hits++
+			c.mu.Unlock()
+			return r, true
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			c.mu.Lock()
+			c.stats.Corrupt++
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// load reads and verifies one disk entry: a header line binding the
+// format version to the body's SHA-256, then the JSON-encoded result.
+func (c *Cache) load(key string) (*engine.Result, error) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("sched: cache entry %s: missing header", key)
+	}
+	header, body := string(data[:nl]), data[nl+1:]
+	want := fmt.Sprintf("%s %x", cacheHeader, sha256.Sum256(body))
+	if header != want {
+		return nil, fmt.Errorf("sched: cache entry %s: integrity check failed", key)
+	}
+	var r engine.Result
+	if err := json.Unmarshal(body, &r); err != nil {
+		return nil, fmt.Errorf("sched: cache entry %s: %w", key, err)
+	}
+	return &r, nil
+}
+
+// Put stores a result under key, in memory and (when backed) on disk via
+// a temp-file rename so concurrent readers never observe a partial entry.
+func (c *Cache) Put(key string, r *engine.Result) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.mem[key] = r
+	c.stats.Stores++
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	body, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("sched: cache encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(tmp, "%s %x\n", cacheHeader, sha256.Sum256(body))
+	if err == nil {
+		_, err = tmp.Write(body)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}

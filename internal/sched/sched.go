@@ -1,0 +1,204 @@
+// Package sched is the run scheduler every experiment driver submits its
+// engine cells to: a bounded worker pool with one mode dispatcher and an
+// optional content-addressed result cache.
+//
+// The simulation is fully deterministic — identical (model, mode, config)
+// cells produce byte-identical results, a property the repository's tests
+// prove repeatedly — which is exactly what makes memoization safe: a cell
+// another figure (or another process) already computed is returned from
+// the cache as a reflect.DeepEqual-identical result instead of being
+// re-simulated. Runs that attach instrumentation (tracing, fault
+// injection, invariant audits, metrics) bypass the cache entirely, so an
+// instrumented run never serves — or stores — a stale artifact.
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/pagemig"
+	"cachedarrays/internal/policy"
+)
+
+// Cell is one schedulable engine run: a model under an operating mode
+// with a merged config. Name labels the cell in errors and progress
+// output; Done, when non-nil, receives the completed (or cache-served)
+// result on the worker goroutine — per-run exports hook here.
+type Cell struct {
+	Name  string
+	Model *models.Model
+	Mode  string
+	Cfg   engine.Config
+	Done  func(*engine.Result) error
+}
+
+// Scheduler executes cells on a bounded worker pool. The zero value is a
+// serial, uncached scheduler.
+type Scheduler struct {
+	// Workers bounds concurrent simulations (<= 1 = serial).
+	Workers int
+	// Cache, when non-nil, memoizes cacheable cells (see Cacheable).
+	Cache *Cache
+	// Progress, when non-nil, receives a single live progress line
+	// (carriage-return rewritten) plus a final summary per Run batch.
+	// Commands point it at stderr so stdout stays clean for CSV output.
+	Progress io.Writer
+}
+
+// Run executes the cells and returns their results in submission order.
+// Cells run concurrently up to Workers; the first error wins and is
+// wrapped with its cell's name. Results served from the cache are shared
+// pointers — callers must treat them as read-only.
+func (s *Scheduler) Run(cells []Cell) ([]*engine.Result, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	results := make([]*engine.Result, len(cells))
+	var (
+		mu           sync.Mutex
+		wg           sync.WaitGroup
+		firstErr     error
+		sem          = make(chan struct{}, workers)
+		done, cached int
+	)
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, hit, err := s.runCell(&cells[i])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", cells[i].Name, err)
+				}
+				return
+			}
+			results[i] = r
+			done++
+			if hit {
+				cached++
+			}
+			if s.Progress != nil {
+				fmt.Fprintf(s.Progress, "\rsched: %d/%d runs (%d cached)", done, len(cells), cached)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Progress != nil && len(cells) > 0 {
+		fmt.Fprintf(s.Progress, "\rsched: %d runs, %d cache hits, %d simulated, workers=%d\n",
+			done, cached, done-cached, workers)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// runCell executes one cell: cache lookup, simulation on miss, store,
+// then the cell's Done callback. The second return reports a cache hit.
+func (s *Scheduler) runCell(c *Cell) (*engine.Result, bool, error) {
+	var key string
+	if s.Cache != nil && Cacheable(c.Cfg) {
+		// A key error means the config grew a field the hasher cannot
+		// canonicalize — run uncached rather than fail the cell.
+		if k, err := Key(c.Model, c.Mode, c.Cfg); err == nil {
+			key = k
+			if r, ok := s.Cache.Get(key); ok {
+				if c.Done != nil {
+					if err := c.Done(r); err != nil {
+						return nil, false, err
+					}
+				}
+				return r, true, nil
+			}
+		}
+	}
+	r, err := RunMode(c.Model, c.Mode, c.Cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if key != "" {
+		if err := s.Cache.Put(key, r); err != nil {
+			return nil, false, err
+		}
+	}
+	if c.Done != nil {
+		if err := c.Done(r); err != nil {
+			return nil, false, err
+		}
+	}
+	return r, false, nil
+}
+
+// Cacheable reports whether a run with this config may be served from (or
+// stored into) the result cache. Any attached instrumentation — tracing,
+// data-manager event logs, fault injection, invariant audits, a metrics
+// registry — makes the run uncacheable: those runs produce per-run
+// artifacts a memoized result cannot reproduce.
+func Cacheable(cfg engine.Config) bool {
+	return !cfg.Trace && cfg.TraceEvents == 0 && cfg.FaultSpec == "" &&
+		!cfg.CheckEveryAdvance && !cfg.CheckInvariants && cfg.Metrics == nil
+}
+
+// Normalize canonicalizes a user-facing mode spelling ("os", "2LM:O",
+// "plan") to the scheduler's canonical mode name.
+func Normalize(mode string) (string, error) {
+	switch strings.ToUpper(mode) {
+	case "2LM:0", "2LM:O":
+		return "2LM:0", nil
+	case "2LM:M":
+		return "2LM:M", nil
+	case "CA:0", "CA:O":
+		return "CA:0", nil
+	case "CA:L":
+		return "CA:L", nil
+	case "CA:LM":
+		return "CA:LM", nil
+	case "CA:LMP":
+		return "CA:LMP", nil
+	case "OS:PAGE", "OS":
+		return "OS:page", nil
+	case "AUTOTM", "AUTOTM:PLAN", "PLAN":
+		return "AutoTM", nil
+	default:
+		return "", fmt.Errorf("sched: unknown mode %q (2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, OS:page, AutoTM)", mode)
+	}
+}
+
+// RunMode is the single authoritative mode dispatcher: it maps a canonical
+// mode name (any Normalize spelling is accepted) to the engine entry point
+// and executes the run.
+func RunMode(m *models.Model, mode string, cfg engine.Config) (*engine.Result, error) {
+	switch mode {
+	case "2LM:0":
+		return engine.Run2LM(m, false, cfg)
+	case "2LM:M":
+		return engine.Run2LM(m, true, cfg)
+	case "CA:0":
+		return engine.RunCA(m, policy.CAZero, cfg)
+	case "CA:L":
+		return engine.RunCA(m, policy.CAL, cfg)
+	case "CA:LM":
+		return engine.RunCA(m, policy.CALM, cfg)
+	case "CA:LMP":
+		return engine.RunCA(m, policy.CALMP, cfg)
+	case "OS:page":
+		return engine.RunPageMig(m, pagemig.DefaultConfig(), cfg)
+	case "AutoTM":
+		return engine.RunPlanned(m, nil, cfg)
+	default:
+		canon, err := Normalize(mode)
+		if err != nil {
+			return nil, err
+		}
+		return RunMode(m, canon, cfg)
+	}
+}

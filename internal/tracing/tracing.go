@@ -28,6 +28,8 @@
 // order the engine summed them, so float equality is exact too).
 package tracing
 
+import "sync"
+
 // Kind labels one trace event.
 type Kind string
 
@@ -160,12 +162,44 @@ type Totals struct {
 	Async bool `json:"async,omitempty"`
 }
 
+// eventChunkSize is the fixed capacity of one pooled event chunk. Events
+// accumulate into fixed-size chunks taken from a package-level pool, so
+// the emit hot path never triggers an append-growth copy of the whole
+// event log: steady-state recording is allocation-free (chunks recycle
+// through the pool) and a chunk grab happens once per chunkSize events.
+const eventChunkSize = 1024
+
+// chunkPool recycles event chunks across recorders. Chunks are cleared
+// before being returned so recycled storage retains no string or *Totals
+// references from earlier runs.
+var chunkPool sync.Pool
+
+func takeChunk() []Event {
+	if p, ok := chunkPool.Get().(*[]Event); ok && p != nil {
+		return (*p)[:0]
+	}
+	return make([]Event, 0, eventChunkSize)
+}
+
+func putChunk(c []Event) {
+	if cap(c) != eventChunkSize {
+		return
+	}
+	clear(c)
+	c = c[:0]
+	chunkPool.Put(&c)
+}
+
 // Recorder accumulates events for one run. It is single-goroutine, like
 // the simulation itself; concurrent runs each get their own recorder.
 // A nil *Recorder is a valid, disabled recorder.
 type Recorder struct {
-	now    func() float64
-	events []Event
+	now func() float64
+	// full holds completed chunks, cur the chunk being filled and flat
+	// the events already flattened by a previous Events() call.
+	full [][]Event
+	cur  []Event
+	flat []Event
 
 	iter   int
 	kernel int
@@ -182,23 +216,56 @@ func New(now func() float64) *Recorder {
 // Enabled reports whether events are being recorded (nil-safe).
 func (r *Recorder) Enabled() bool { return r != nil }
 
-// Events returns the recorded events (not a copy; the caller owns the
-// recorder by then).
+// Events returns the recorded events, flattening the pooled chunks into
+// one contiguous slice (the chunks go back to the pool). It returns nil
+// when nothing was recorded. Calling it again returns the same flattened
+// slice plus anything emitted since.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	return r.events
+	n := len(r.flat)
+	for _, c := range r.full {
+		n += len(c)
+	}
+	n += len(r.cur)
+	if n == 0 {
+		return nil
+	}
+	if len(r.full) == 0 && len(r.cur) == 0 {
+		return r.flat
+	}
+	flat := make([]Event, 0, n)
+	flat = append(flat, r.flat...)
+	for _, c := range r.full {
+		flat = append(flat, c...)
+		putChunk(c)
+	}
+	if r.cur != nil {
+		flat = append(flat, r.cur...)
+		putChunk(r.cur)
+	}
+	r.full, r.cur = nil, nil
+	r.flat = flat
+	return flat
 }
 
 // emit appends e, stamping the recorder context and, when T0 is unset, the
-// current virtual time.
+// current virtual time. The append target is a fixed-capacity pooled
+// chunk, so the steady-state cost is one bounds check and a struct copy —
+// never a grow-and-copy of the whole log.
 func (r *Recorder) emit(e Event) {
 	e.Iter, e.Kernel, e.KName = r.iter, r.kernel, r.kname
 	if e.T0 == 0 && e.T1 == 0 && r.now != nil {
 		e.T0 = r.now()
 	}
-	r.events = append(r.events, e)
+	if len(r.cur) == cap(r.cur) {
+		if r.cur != nil {
+			r.full = append(r.full, r.cur)
+		}
+		r.cur = takeChunk()
+	}
+	r.cur = append(r.cur, e)
 }
 
 // ---------------------------------------------------------------------------
