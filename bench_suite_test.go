@@ -1,18 +1,24 @@
 // Suite-scale wall-clock benchmark: one figure regenerated cold (empty
 // result cache), warm (same cache directory, everything served from
-// disk) and at growing worker counts, written machine-readably to
+// disk) and across a worker scaling series, written machine-readably to
 // BENCH_suite.json:
 //
 //	go test -run '^$' -bench BenchmarkSuite .
 //
-// The warm/cold ratio is the result cache's value; the scaling rows are
-// the scheduler's. CI gates warm_speedup_x.
+// The warm/cold ratio is the result cache's value; the scaling series
+// (workers = 1, 2, 4, GOMAXPROCS, deduplicated) is the scheduler's, with
+// per-row mutex-wait seconds from runtime/metrics so a scaling
+// regression is diagnosable from the artifact alone: if seconds stop
+// falling while mutex_wait_s climbs, a serialization point came back.
+// CI gates warm_speedup_x and (on multi-core runners) parallel_speedup_x.
 package cachedarrays
 
 import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"runtime/metrics"
+	"sort"
 	"testing"
 	"time"
 
@@ -21,15 +27,45 @@ import (
 )
 
 type suiteResult struct {
-	ColdSeconds  float64        `json:"cold_s"`
-	WarmSeconds  float64        `json:"warm_s"`
-	WarmSpeedupX float64        `json:"warm_speedup_x"`
-	Scaling      []scalingPoint `json:"scaling"`
+	GOMAXPROCS       int            `json:"gomaxprocs"`
+	ColdSeconds      float64        `json:"cold_s"`
+	WarmSeconds      float64        `json:"warm_s"`
+	WarmSpeedupX     float64        `json:"warm_speedup_x"`
+	ParallelSpeedupX float64        `json:"parallel_speedup_x"`
+	Scaling          []scalingPoint `json:"scaling"`
 }
 
 type scalingPoint struct {
 	Workers int     `json:"workers"`
 	Seconds float64 `json:"seconds"`
+	// MutexWaitSeconds is the goroutine-seconds spent blocked on mutexes
+	// during this row (delta of /sync/mutex/wait/total:seconds) — the
+	// contention fingerprint behind the wall-clock number.
+	MutexWaitSeconds float64 `json:"mutex_wait_s"`
+}
+
+// mutexWaitSeconds reads the runtime's cumulative mutex-wait clock.
+func mutexWaitSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return sample[0].Value.Float64()
+}
+
+// scalingWorkers is the measured series: 1, 2, 4 and GOMAXPROCS,
+// deduplicated and ascending, so the artifact always carries the
+// single-worker baseline, the first two doubling steps and the
+// all-cores point CI gates on.
+func scalingWorkers() []int {
+	set := map[int]bool{1: true, 2: true, 4: true, runtime.GOMAXPROCS(0): true}
+	var ws []int
+	for w := range set {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	return ws
 }
 
 // BenchmarkSuite measures the Fig. 7 sweep (24 paper-scale cells) end to
@@ -44,17 +80,29 @@ func BenchmarkSuite(b *testing.B) {
 		return time.Since(start)
 	}
 	for i := 0; i < b.N; i++ {
-		var res suiteResult
+		res := suiteResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
-		// Parallel scaling, uncached: the same batch at 1, 2 and N workers.
-		workers := []int{1, 2}
-		if n := runtime.GOMAXPROCS(0); n > 2 {
-			workers = append(workers, n)
-		}
-		for _, w := range workers {
+		// Parallel scaling, uncached: the same batch at each worker count.
+		for _, w := range scalingWorkers() {
+			before := mutexWaitSeconds()
+			secs := fig7(&sched.Scheduler{Workers: w}).Seconds()
 			res.Scaling = append(res.Scaling, scalingPoint{
-				Workers: w, Seconds: fig7(&sched.Scheduler{Workers: w}).Seconds(),
+				Workers: w, Seconds: secs, MutexWaitSeconds: mutexWaitSeconds() - before,
 			})
+		}
+		// parallel_speedup_x compares the single-worker row against the
+		// all-cores row — the number the CI scaling gate enforces.
+		var oneWorker, allCores float64
+		for _, p := range res.Scaling {
+			if p.Workers == 1 {
+				oneWorker = p.Seconds
+			}
+			if p.Workers == res.GOMAXPROCS {
+				allCores = p.Seconds
+			}
+		}
+		if allCores > 0 {
+			res.ParallelSpeedupX = oneWorker / allCores
 		}
 
 		// Cold vs warm through one on-disk cache directory. The warm pass
@@ -65,12 +113,13 @@ func BenchmarkSuite(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res.ColdSeconds = fig7(&sched.Scheduler{Workers: workers[len(workers)-1], Cache: cold}).Seconds()
+		workers := runtime.GOMAXPROCS(0)
+		res.ColdSeconds = fig7(&sched.Scheduler{Workers: workers, Cache: cold}).Seconds()
 		warm, err := sched.OpenCache(dir)
 		if err != nil {
 			b.Fatal(err)
 		}
-		res.WarmSeconds = fig7(&sched.Scheduler{Workers: workers[len(workers)-1], Cache: warm}).Seconds()
+		res.WarmSeconds = fig7(&sched.Scheduler{Workers: workers, Cache: warm}).Seconds()
 		if st := warm.Stats(); st.Misses != 0 || st.Hits == 0 {
 			b.Fatalf("warm pass was not fully cached: %+v", st)
 		}
@@ -85,7 +134,7 @@ func BenchmarkSuite(b *testing.B) {
 		if err := os.WriteFile("BENCH_suite.json", append(data, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
-		b.Logf("cold %.2fs warm %.2fs (%.1fx), scaling %v",
-			res.ColdSeconds, res.WarmSeconds, res.WarmSpeedupX, res.Scaling)
+		b.Logf("cold %.2fs warm %.2fs (%.1fx), parallel %.2fx across %v",
+			res.ColdSeconds, res.WarmSeconds, res.WarmSpeedupX, res.ParallelSpeedupX, res.Scaling)
 	}
 }

@@ -28,10 +28,37 @@ type platformKey struct {
 	slowTier string
 }
 
-var (
-	platformMu   sync.Mutex
-	platformPool = map[platformKey][]*memsim.Platform{}
-)
+// poolShard holds the idle platforms of one hardware description behind
+// its own short lock. Shards live in a sync.Map so concurrent acquires
+// of *different* configs never contend at all (the sync.Map read path is
+// lock-free once a shard exists), and acquires of the *same* config
+// contend only on the shard's push/pop — never on buildPlatform or
+// Reset, which both run outside any lock.
+type poolShard struct {
+	mu   sync.Mutex
+	free []*memsim.Platform
+}
+
+var platformPool sync.Map // platformKey -> *poolShard
+
+// shardFor returns the pool shard for one hardware description,
+// creating it on first use.
+func shardFor(key platformKey) *poolShard {
+	if s, ok := platformPool.Load(key); ok {
+		return s.(*poolShard)
+	}
+	s, _ := platformPool.LoadOrStore(key, &poolShard{})
+	return s.(*poolShard)
+}
+
+// poolDepth reports how many idle platforms a key currently holds
+// (test hook).
+func poolDepth(key platformKey) int {
+	s := shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}
 
 // buildPlatform constructs a platform from a resolved config (the
 // non-pooled path; acquirePlatform wraps it).
@@ -69,13 +96,15 @@ func acquirePlatform(cfg Config) (*memsim.Platform, func()) {
 		threads:  cfg.CopyThreads,
 		slowTier: cfg.SlowTier,
 	}
-	platformMu.Lock()
+	shard := shardFor(key)
+	shard.mu.Lock()
 	var p *memsim.Platform
-	if free := platformPool[key]; len(free) > 0 {
-		p = free[len(free)-1]
-		platformPool[key] = free[:len(free)-1]
+	if n := len(shard.free); n > 0 {
+		p = shard.free[n-1]
+		shard.free[n-1] = nil
+		shard.free = shard.free[:n-1]
 	}
-	platformMu.Unlock()
+	shard.mu.Unlock()
 	if p == nil {
 		p = buildPlatform(cfg)
 	}
@@ -89,10 +118,10 @@ func acquirePlatform(cfg Config) (*memsim.Platform, func()) {
 		p.Copier.WriteThreadCap = p.Slow.Profile.WritePeakThreads
 	}
 	release := func() {
-		p.Reset()
-		platformMu.Lock()
-		platformPool[key] = append(platformPool[key], p)
-		platformMu.Unlock()
+		p.Reset() // outside the lock: Reset cost never serializes other releases
+		shard.mu.Lock()
+		shard.free = append(shard.free, p)
+		shard.mu.Unlock()
 	}
 	return p, release
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"cachedarrays/internal/metrics"
@@ -92,17 +93,75 @@ func TestPoolRecyclesAcrossModes(t *testing.T) {
 		threads:  cfg.Canonical().CopyThreads,
 		slowTier: cfg.Canonical().SlowTier,
 	}
-	platformMu.Lock()
-	depth := len(platformPool[key])
-	platformMu.Unlock()
+	depth := poolDepth(key)
 	if depth == 0 {
 		t.Fatal("no platform returned to the pool")
 	}
 	run() // serial reruns must recycle, not grow
-	platformMu.Lock()
-	after := len(platformPool[key])
-	platformMu.Unlock()
-	if after != depth {
+	if after := poolDepth(key); after != depth {
 		t.Fatalf("pool grew from %d to %d across serial reruns", depth, after)
+	}
+}
+
+// TestPoolConcurrentAcquireRelease is the sharded-pool contention test:
+// many goroutines hammer acquire/release across one shared key and a set
+// of distinct keys at once (mixed slow tiers and copy-thread counts, so
+// distinct keys map to distinct shards). Under -race this proves the
+// shard map and per-shard freelists are race-free; the DeepEqual check
+// afterwards proves a platform recycled through concurrent churn still
+// carries Reset's freshly-built semantics; and the depth bound proves
+// concurrent same-key releases all land in one shard instead of leaking.
+func TestPoolConcurrentAcquireRelease(t *testing.T) {
+	shared := Config{Iterations: 1}
+	base, err := RunCA(vggLarge, policy.CALM, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	distinct := []Config{
+		{Iterations: 1, SlowTier: "cxl"},
+		{Iterations: 1, CopyThreads: 2},
+		{Iterations: 1, CopyThreads: 3},
+	}
+	const workers, rounds = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				cfg := shared
+				if w%2 == 1 { // half the workers churn distinct shards
+					cfg = distinct[(w+r)%len(distinct)]
+				}
+				if _, err := RunCA(vggLarge, policy.CALM, cfg); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	again, err := RunCA(vggLarge, policy.CALM, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, again) {
+		t.Fatal("run on a concurrently-churned pooled platform differs from the fresh run")
+	}
+	key := platformKey{
+		fast:     shared.Canonical().FastCapacity,
+		slow:     shared.Canonical().SlowCapacity,
+		threads:  shared.Canonical().CopyThreads,
+		slowTier: shared.Canonical().SlowTier,
+	}
+	if depth := poolDepth(key); depth > workers+2 {
+		t.Fatalf("shared-key shard holds %d idle platforms, more than the %d concurrent acquirers", depth, workers+2)
 	}
 }

@@ -48,7 +48,7 @@ func Ablations(opts Options) (*Table, error) {
 		v.mut(&cfg)
 		cells = append(cells, sched.Cell{
 			Name:  runName("ablations", v.name),
-			Model: buildModel(pm, opts.Scale), Mode: v.mode, Cfg: cfg})
+			Build: lazyModel(pm, opts.Scale), Mode: v.mode, Cfg: cfg})
 	}
 	results, err := opts.runCells(cells)
 	if err != nil {

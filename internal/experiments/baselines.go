@@ -47,7 +47,7 @@ func Baselines(opts Options) (*Table, error) {
 		for _, v := range variants {
 			cells = append(cells, sched.Cell{
 				Name:  runName("baselines", pm.Name, v.label),
-				Model: buildModel(pm, opts.Scale), Mode: v.mode, Cfg: v.cfg})
+				Build: lazyModel(pm, opts.Scale), Mode: v.mode, Cfg: v.cfg})
 		}
 	}
 	results, err := opts.runCells(cells)

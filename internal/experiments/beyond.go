@@ -46,18 +46,23 @@ func BeyondCNNs(opts Options) (*Table, error) {
 	lstmCfg.TwoLM = twolmConfigFor(budget)
 
 	rows := []struct {
+		name  string
 		build func() *models.Model
 		cfg   engine.Config
 	}{
-		{func() *models.Model { return models.Transformer(cfg) }, opts.config()},
-		{func() *models.Model { return models.LSTM(lcfg) }, lstmCfg},
+		// One build per row resolves the display name; the per-cell
+		// builds below run lazily on the scheduler workers.
+		{models.Transformer(cfg).Name, func() *models.Model { return models.Transformer(cfg) }, opts.config()},
+		{models.LSTM(lcfg).Name, func() *models.Model { return models.LSTM(lcfg) }, lstmCfg},
 	}
 	var cells []sched.Cell
 	for _, rw := range rows {
+		build := rw.build
 		for _, mode := range ModeNames {
-			m := rw.build()
 			cells = append(cells, sched.Cell{
-				Name: runName("beyond", m.Name, mode), Model: m, Mode: mode, Cfg: rw.cfg})
+				Name:  runName("beyond", rw.name, mode),
+				Build: func() (*models.Model, error) { return build(), nil },
+				Mode:  mode, Cfg: rw.cfg})
 		}
 	}
 	results, err := opts.runCells(cells)
@@ -65,7 +70,7 @@ func BeyondCNNs(opts Options) (*Table, error) {
 		return nil, err
 	}
 	for ri, rw := range rows {
-		row := []string{rw.build().Name}
+		row := []string{rw.name}
 		for mi := range ModeNames {
 			row = append(row, secs(results[ri*len(ModeNames)+mi].IterTime))
 		}

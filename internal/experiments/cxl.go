@@ -29,7 +29,7 @@ func CXLPortability(opts Options) (*Table, error) {
 		for _, mode := range modes {
 			cells = append(cells, sched.Cell{
 				Name:  runName("cxl", pm.Name, mode),
-				Model: buildModel(pm, opts.Scale), Mode: mode, Cfg: cfg})
+				Build: lazyModel(pm, opts.Scale), Mode: mode, Cfg: cfg})
 		}
 	}
 	results, err := opts.runCells(cells)

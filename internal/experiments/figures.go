@@ -73,8 +73,8 @@ func Fig3(opts Options, maxPoints int) (*Table, error) {
 	cfg.SampleHeap = true
 	name := buildModel(pm, opts.Scale).Name
 	results, err := opts.runCells([]sched.Cell{
-		{Name: runName("fig3", name, "2lm0"), Model: buildModel(pm, opts.Scale), Mode: "2LM:0", Cfg: cfg},
-		{Name: runName("fig3", name, "2lmM"), Model: buildModel(pm, opts.Scale), Mode: "2LM:M", Cfg: cfg},
+		{Name: runName("fig3", name, "2lm0"), Build: lazyModel(pm, opts.Scale), Mode: "2LM:0", Cfg: cfg},
+		{Name: runName("fig3", name, "2lmM"), Build: lazyModel(pm, opts.Scale), Mode: "2LM:M", Cfg: cfg},
 	})
 	if err != nil {
 		return nil, err
@@ -203,9 +203,9 @@ func Fig7Async(opts Options, budgets []int64) (*Table, error) {
 			acfg.AsyncMovement = true
 			cells = append(cells,
 				sched.Cell{Name: runName("fig7async", pm.Name, fmt.Sprint(b), "sync"),
-					Model: buildModel(pm, opts.Scale), Mode: "CA:LM", Cfg: cfg},
+					Build: lazyModel(pm, opts.Scale), Mode: "CA:LM", Cfg: cfg},
 				sched.Cell{Name: runName("fig7async", pm.Name, fmt.Sprint(b), "async"),
-					Model: buildModel(pm, opts.Scale), Mode: "CA:LM", Cfg: acfg})
+					Build: lazyModel(pm, opts.Scale), Mode: "CA:LM", Cfg: acfg})
 		}
 	}
 	results, err := opts.runCells(cells)
@@ -253,7 +253,7 @@ func Fig7(opts Options, budgets []int64) (*Table, error) {
 			cfg.FastCapacity = b
 			cells = append(cells, sched.Cell{
 				Name:  runName("fig7", pm.Name, fmt.Sprint(b)),
-				Model: buildModel(pm, opts.Scale), Mode: "CA:LM", Cfg: cfg})
+				Build: lazyModel(pm, opts.Scale), Mode: "CA:LM", Cfg: cfg})
 		}
 	}
 	results, err := opts.runCells(cells)

@@ -92,6 +92,15 @@ type Matrix struct {
 	Results map[Cell]*engine.Result
 }
 
+// lazyModel defers a paper model's construction to the scheduler worker
+// that simulates the cell: drivers collect cells with cheap closures and
+// the graph build overlaps with other cells' simulation instead of
+// running serially in the collect loop. Each invocation builds a private
+// instance, so concurrent cells never share a model.
+func lazyModel(pm models.PaperModel, scale int) func() (*models.Model, error) {
+	return func() (*models.Model, error) { return buildModel(pm, scale), nil }
+}
+
 // buildModel constructs a paper model at the option scale.
 func buildModel(pm models.PaperModel, scale int) *models.Model {
 	if scale <= 1 {
@@ -144,10 +153,11 @@ func runName(parts ...string) string {
 }
 
 // RunMatrix executes every large network under every operating mode on
-// the scheduler. Each cell builds its own model: the graph builders are
-// cheap and deterministic, and a private model per run removes any chance
-// of a data race between concurrent cells that would otherwise share one
-// *models.Model.
+// the scheduler. Each cell builds its own model lazily on its worker
+// (the builders are deterministic, and a private model per run removes
+// any chance of a data race between concurrent cells that would
+// otherwise share one *models.Model), so graph construction overlaps
+// with other cells' simulation instead of serializing collection.
 func RunMatrix(opts Options) (*Matrix, error) {
 	opts = opts.withDefaults()
 	cfg := opts.config()
@@ -162,7 +172,7 @@ func RunMatrix(opts Options) (*Matrix, error) {
 		for _, mode := range ModeNames {
 			cells = append(cells, sched.Cell{
 				Name:  runName("matrix", pm.Name, mode),
-				Model: buildModel(pm, opts.Scale),
+				Build: lazyModel(pm, opts.Scale),
 				Mode:  mode,
 				Cfg:   cfg,
 			})

@@ -97,6 +97,12 @@ type Session struct {
 	ln    net.Listener
 	cache *sched.Cache
 
+	// schedOnce memoizes the session's scheduler: one instance serves
+	// every batch a command submits, so the single-flight group and the
+	// lifetime simulation/dedup counters span all of its figures.
+	schedOnce sync.Once
+	sched     *sched.Scheduler
+
 	// mu serializes status prints and output writes from parallel sweeps.
 	mu     sync.Mutex
 	status io.Writer
@@ -138,12 +144,18 @@ func (f *Flags) Start(multi bool, status io.Writer) (*Session, error) {
 	return s, nil
 }
 
-// Scheduler builds the session's run scheduler: the -parallel worker
+// Scheduler returns the session's run scheduler: the -parallel worker
 // bound, the -cache result store (nil when off) and a progress line on
 // progress (usually stderr, keeping -csv stdout machine-readable; nil
-// disables it).
+// disables it). The instance is memoized — every call returns the same
+// scheduler, so concurrent batches share one single-flight group and
+// identical cells dedup across a command's whole figure sweep. The
+// first call's progress writer wins.
 func (s *Session) Scheduler(progress io.Writer) *sched.Scheduler {
-	return &sched.Scheduler{Workers: s.flags.Parallel, Cache: s.cache, Progress: progress}
+	s.schedOnce.Do(func() {
+		s.sched = &sched.Scheduler{Workers: s.flags.Parallel, Cache: s.cache, Progress: progress}
+	})
+	return s.sched
 }
 
 // CacheStats reports the session cache's traffic (zeros when -cache is

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"cachedarrays/internal/engine"
 )
@@ -19,16 +20,32 @@ import (
 // is detected and recomputed instead of trusted.
 const cacheHeader = "cachedarrays-cache v1"
 
-// Cache is a content-addressed store of engine results: an in-memory map
-// for hits within one process, optionally backed by a directory of
-// integrity-checked JSON files for cross-process reuse. All methods are
-// safe for concurrent use; a nil *Cache never hits and never stores.
+// cacheShards is the in-memory map's shard count. Keys are hex SHA-256
+// digests, so the leading bytes are uniform and a prefix shard spreads
+// concurrent writers evenly. 64 shards keep the chance of two of
+// GOMAXPROCS workers colliding on one lock small.
+const cacheShards = 64
+
+// cacheShard is one slice of the in-memory index behind its own short
+// lock: concurrent Get/Put on different key prefixes never contend.
+type cacheShard struct {
+	mu  sync.Mutex
+	mem map[string]*engine.Result
+}
+
+// Cache is a content-addressed store of engine results: a sharded
+// in-memory map for hits within one process, optionally backed by a
+// directory of integrity-checked JSON files for cross-process reuse.
+// Locking is sharded by key prefix and statistics are atomics, so
+// concurrent readers and writers of distinct keys share no lock at all.
+// All methods are safe for concurrent use; a nil *Cache never hits and
+// never stores.
 type Cache struct {
 	dir string
 
-	mu    sync.Mutex
-	mem   map[string]*engine.Result
-	stats CacheStats
+	shards [cacheShards]cacheShard
+
+	hits, misses, stores, corrupt atomic.Int64
 }
 
 // CacheStats counts the cache's traffic.
@@ -47,7 +64,35 @@ func OpenCache(dir string) (*Cache, error) {
 			return nil, fmt.Errorf("sched: cache dir: %w", err)
 		}
 	}
-	return &Cache{dir: dir, mem: map[string]*engine.Result{}}, nil
+	c := &Cache{dir: dir}
+	for i := range c.shards {
+		c.shards[i].mem = map[string]*engine.Result{}
+	}
+	return c, nil
+}
+
+// shard maps a key to its lock shard by prefix. Keys are hex digests;
+// two leading hex digits give 256 uniform buckets folded onto the shard
+// count. Short keys (tests, ad-hoc callers) fold what is there.
+func (c *Cache) shard(key string) *cacheShard {
+	var h uint
+	for i := 0; i < len(key) && i < 2; i++ {
+		h = h<<4 + uint(hexVal(key[i]))
+	}
+	return &c.shards[h%cacheShards]
+}
+
+func hexVal(b byte) byte {
+	switch {
+	case b >= '0' && b <= '9':
+		return b - '0'
+	case b >= 'a' && b <= 'f':
+		return b - 'a' + 10
+	case b >= 'A' && b <= 'F':
+		return b - 'A' + 10
+	default:
+		return b & 0xf
+	}
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -55,9 +100,12 @@ func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Stores:  c.stores.Load(),
+		Corrupt: c.corrupt.Load(),
+	}
 }
 
 func (c *Cache) path(key string) string {
@@ -71,29 +119,26 @@ func (c *Cache) Get(key string) (*engine.Result, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	if r, ok := c.mem[key]; ok {
-		c.stats.Hits++
-		c.mu.Unlock()
+	s := c.shard(key)
+	s.mu.Lock()
+	r, ok := s.mem[key]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
 		return r, true
 	}
-	c.mu.Unlock()
 	if c.dir != "" {
 		if r, err := c.load(key); err == nil {
-			c.mu.Lock()
-			c.mem[key] = r
-			c.stats.Hits++
-			c.mu.Unlock()
+			s.mu.Lock()
+			s.mem[key] = r
+			s.mu.Unlock()
+			c.hits.Add(1)
 			return r, true
 		} else if !errors.Is(err, fs.ErrNotExist) {
-			c.mu.Lock()
-			c.stats.Corrupt++
-			c.mu.Unlock()
+			c.corrupt.Add(1)
 		}
 	}
-	c.mu.Lock()
-	c.stats.Misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 	return nil, false
 }
 
@@ -122,14 +167,17 @@ func (c *Cache) load(key string) (*engine.Result, error) {
 
 // Put stores a result under key, in memory and (when backed) on disk via
 // a temp-file rename so concurrent readers never observe a partial entry.
+// Encoding and disk I/O run outside any lock: concurrent writers only
+// touch their key's shard for the map insert.
 func (c *Cache) Put(key string, r *engine.Result) error {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	c.mem[key] = r
-	c.stats.Stores++
-	c.mu.Unlock()
+	s := c.shard(key)
+	s.mu.Lock()
+	s.mem[key] = r
+	s.mu.Unlock()
+	c.stores.Add(1)
 	if c.dir == "" {
 		return nil
 	}

@@ -10,13 +10,25 @@
 // re-simulated. Runs that attach instrumentation (tracing, fault
 // injection, invariant audits, metrics) bypass the cache entirely, so an
 // instrumented run never serves — or stores — a stale artifact.
+//
+// The parallel path is built to scale: result slots are written without
+// any lock (each cell owns its index), completion counters are atomics,
+// the progress line is throttled and skipped under contention rather
+// than serializing workers, model construction runs on the worker (Cell.
+// Build) overlapped with other cells' simulation, and concurrent
+// submissions of the identical cell are single-flighted — one leader
+// simulates while the rest share its result, so the cache sees one
+// writer per key.
 package sched
 
 import (
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
@@ -29,11 +41,38 @@ import (
 // output; Done, when non-nil, receives the completed (or cache-served)
 // result on the worker goroutine — per-run exports hook here.
 type Cell struct {
-	Name  string
+	Name string
+	// Model is the pre-built workload graph. Leave it nil and set Build
+	// instead to defer construction to the worker: the build then
+	// overlaps with other cells' simulation instead of serializing the
+	// submitting driver's collect loop.
 	Model *models.Model
+	// Build constructs the cell's model on the worker (used when Model
+	// is nil). It must be deterministic and must return a private
+	// instance — concurrent cells never share a model.
+	Build func() (*models.Model, error)
 	Mode  string
 	Cfg   engine.Config
 	Done  func(*engine.Result) error
+}
+
+// model resolves the cell's workload graph, building lazily on the
+// calling (worker) goroutine when only Build is set.
+func (c *Cell) model() (*models.Model, error) {
+	if c.Model != nil {
+		return c.Model, nil
+	}
+	if c.Build == nil {
+		return nil, fmt.Errorf("sched: cell has neither Model nor Build")
+	}
+	m, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("sched: Build returned a nil model")
+	}
+	return m, nil
 }
 
 // Scheduler executes cells on a bounded worker pool. The zero value is a
@@ -47,6 +86,50 @@ type Scheduler struct {
 	// (carriage-return rewritten) plus a final summary per Run batch.
 	// Commands point it at stderr so stdout stays clean for CSV output.
 	Progress io.Writer
+	// ProgressEvery is the minimum interval between live progress
+	// rewrites (0 = the 50ms default). The final summary always prints.
+	ProgressEvery time.Duration
+
+	// flight deduplicates concurrent submissions of the identical cell:
+	// one simulation, shared result, one cache writer per key.
+	flight flightGroup
+	// sims counts simulations actually executed over the scheduler's
+	// lifetime; dedups counts cells served by another cell's in-flight
+	// simulation.
+	sims   atomic.Int64
+	dedups atomic.Int64
+}
+
+// Simulations reports how many cells this scheduler actually simulated
+// (cache hits and single-flight followers excluded) over its lifetime.
+func (s *Scheduler) Simulations() int64 { return s.sims.Load() }
+
+// Dedups reports how many cells were served by another concurrent
+// cell's in-flight simulation (the single-flight path).
+func (s *Scheduler) Dedups() int64 { return s.dedups.Load() }
+
+// progressLine throttles the live progress rewrite: a worker that
+// cannot take the lock, or that finds the line fresher than the
+// interval, skips the print — progress I/O never serializes workers.
+type progressLine struct {
+	w     io.Writer
+	every time.Duration
+	mu    sync.Mutex
+	last  time.Time
+}
+
+func (p *progressLine) update(done, total, cached int64) {
+	if p.w == nil {
+		return
+	}
+	if !p.mu.TryLock() {
+		return // another worker is mid-print; this completion skips
+	}
+	defer p.mu.Unlock()
+	if now := time.Now(); now.Sub(p.last) >= p.every {
+		p.last = now
+		fmt.Fprintf(p.w, "\rsched: %d/%d runs (%d cached)", done, total, cached)
+	}
 }
 
 // Run executes the cells and returns their results in submission order.
@@ -59,12 +142,17 @@ func (s *Scheduler) Run(cells []Cell) ([]*engine.Result, error) {
 		workers = 1
 	}
 	results := make([]*engine.Result, len(cells))
+	every := s.ProgressEvery
+	if every == 0 {
+		every = 50 * time.Millisecond
+	}
 	var (
-		mu           sync.Mutex
 		wg           sync.WaitGroup
-		firstErr     error
 		sem          = make(chan struct{}, workers)
-		done, cached int
+		done, cached atomic.Int64
+		errMu        sync.Mutex
+		firstErr     error
+		prog         = &progressLine{w: s.Progress, every: every}
 	)
 	for i := range cells {
 		wg.Add(1)
@@ -73,28 +161,28 @@ func (s *Scheduler) Run(cells []Cell) ([]*engine.Result, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			r, hit, err := s.runCell(&cells[i])
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
+				errMu.Lock()
 				if firstErr == nil {
 					firstErr = fmt.Errorf("%s: %w", cells[i].Name, err)
 				}
+				errMu.Unlock()
 				return
 			}
+			// Each cell owns its slot: no lock needed for the write.
 			results[i] = r
-			done++
+			c := cached.Load()
 			if hit {
-				cached++
+				c = cached.Add(1)
 			}
-			if s.Progress != nil {
-				fmt.Fprintf(s.Progress, "\rsched: %d/%d runs (%d cached)", done, len(cells), cached)
-			}
+			prog.update(done.Add(1), int64(len(cells)), c)
 		}(i)
 	}
 	wg.Wait()
 	if s.Progress != nil && len(cells) > 0 {
+		d, c := done.Load(), cached.Load()
 		fmt.Fprintf(s.Progress, "\rsched: %d runs, %d cache hits, %d simulated, workers=%d\n",
-			done, cached, done-cached, workers)
+			d, c, d-c, workers)
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -102,31 +190,72 @@ func (s *Scheduler) Run(cells []Cell) ([]*engine.Result, error) {
 	return results, nil
 }
 
-// runCell executes one cell: cache lookup, simulation on miss, store,
-// then the cell's Done callback. The second return reports a cache hit.
+// keyErrOnce surfaces the first cache-key failure of the process: a key
+// error means engine.Config grew a field the hasher cannot canonicalize,
+// which silently disables memoization for every affected cell — worth
+// one loud line on stderr, not one per cell.
+var (
+	keyErrOnce sync.Once
+	keyErrOut  io.Writer = os.Stderr // swapped in tests
+)
+
+func warnKeyError(err error) {
+	keyErrOnce.Do(func() {
+		fmt.Fprintf(keyErrOut,
+			"sched: cannot compute result-cache keys; affected runs execute uncached: %v\n", err)
+	})
+}
+
+// runCell executes one cell: model resolution (lazy Build runs here, on
+// the worker), cache lookup, single-flighted simulation on miss, store,
+// then the cell's Done callback. The second return reports whether the
+// result arrived without this cell simulating (a cache or dedup hit).
 func (s *Scheduler) runCell(c *Cell) (*engine.Result, bool, error) {
-	var key string
-	if s.Cache != nil && Cacheable(c.Cfg) {
-		// A key error means the config grew a field the hasher cannot
-		// canonicalize — run uncached rather than fail the cell.
-		if k, err := Key(c.Model, c.Mode, c.Cfg); err == nil {
-			key = k
-			if r, ok := s.Cache.Get(key); ok {
-				if c.Done != nil {
-					if err := c.Done(r); err != nil {
-						return nil, false, err
-					}
-				}
-				return r, true, nil
-			}
-		}
-	}
-	r, err := RunMode(c.Model, c.Mode, c.Cfg)
+	m, err := c.model()
 	if err != nil {
 		return nil, false, err
 	}
+	var key string
+	if s.Cache != nil && Cacheable(c.Cfg) {
+		if k, kerr := Key(m, c.Mode, c.Cfg); kerr != nil {
+			warnKeyError(kerr)
+		} else {
+			key = k
+		}
+	}
+	var r *engine.Result
+	hit := false
 	if key != "" {
-		if err := s.Cache.Put(key, r); err != nil {
+		// Single flight: concurrent identical cells elect one leader,
+		// which checks the cache and simulates+stores on a miss; the
+		// rest share its pointer. The lookup lives inside the flight so
+		// a key is probed exactly once per settled result.
+		var simulated bool
+		res, shared, err := s.flight.Do(key, func() (*engine.Result, error) {
+			if r, ok := s.Cache.Get(key); ok {
+				return r, nil
+			}
+			simulated = true
+			s.sims.Add(1)
+			r, err := RunMode(m, c.Mode, c.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Cache.Put(key, r); err != nil {
+				return nil, err
+			}
+			return r, nil
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		if shared {
+			s.dedups.Add(1)
+		}
+		r, hit = res, !simulated
+	} else {
+		s.sims.Add(1)
+		if r, err = RunMode(m, c.Mode, c.Cfg); err != nil {
 			return nil, false, err
 		}
 	}
@@ -135,7 +264,7 @@ func (s *Scheduler) runCell(c *Cell) (*engine.Result, bool, error) {
 			return nil, false, err
 		}
 	}
-	return r, false, nil
+	return r, hit, nil
 }
 
 // Cacheable reports whether a run with this config may be served from (or

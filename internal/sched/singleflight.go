@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"sync"
+
+	"cachedarrays/internal/engine"
+)
+
+// flightGroup is in-memory single-flight over cache keys: when several
+// workers submit the identical cell concurrently, exactly one (the
+// leader) executes the work while the rest block on its completion and
+// share the pointer — the simulation runs once and the on-disk cache
+// sees one writer per key instead of a Put race. The zero value is
+// ready to use.
+//
+// Unlike a cache, entries live only while the leader is in flight:
+// completion removes the key, so a later submission consults the result
+// cache (which the leader populated) instead of pinning results here.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done    chan struct{} // closed when r/err are final
+	waiters int           // callers sharing this flight; guarded by the group's mu
+	r       *engine.Result
+	err     error
+}
+
+// Do executes fn under key, deduplicating concurrent callers: the first
+// caller for a key runs fn; callers arriving while it is in flight wait
+// and receive the same result. The second return reports whether the
+// result was shared from another caller's execution (a dedup hit).
+func (g *flightGroup) Do(key string, fn func() (*engine.Result, error)) (*engine.Result, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.r, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.r, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.r, false, c.err
+}

@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+)
+
+// TestFlightGroupSharesResult pins the single-flight contract with
+// deterministic interleaving: a follower arriving while the leader is in
+// flight never executes its own function and shares the leader's exact
+// pointer, flagged as a dedup.
+func TestFlightGroupSharesResult(t *testing.T) {
+	var g flightGroup
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	want := &engine.Result{Mode: "X"}
+
+	type out struct {
+		r      *engine.Result
+		shared bool
+		err    error
+	}
+	leaderOut := make(chan out, 1)
+	go func() {
+		r, shared, err := g.Do("k", func() (*engine.Result, error) {
+			close(leaderIn)
+			<-release
+			return want, nil
+		})
+		leaderOut <- out{r, shared, err}
+	}()
+	<-leaderIn // leader is now in flight
+
+	followerOut := make(chan out, 1)
+	go func() {
+		r, shared, err := g.Do("k", func() (*engine.Result, error) {
+			t.Error("follower executed its function despite an in-flight leader")
+			return nil, nil
+		})
+		followerOut <- out{r, shared, err}
+	}()
+	// Wait until the follower is registered on the in-flight call, then
+	// confirm it is blocked rather than completed.
+	for {
+		g.mu.Lock()
+		waiting := g.m["k"] != nil && g.m["k"].waiters == 1
+		g.mu.Unlock()
+		if waiting {
+			break
+		}
+		runtime.Gosched()
+	}
+	select {
+	case o := <-followerOut:
+		t.Fatalf("follower returned %+v before the leader finished", o)
+	default:
+	}
+	close(release)
+
+	l, f := <-leaderOut, <-followerOut
+	if l.err != nil || f.err != nil {
+		t.Fatalf("errors: leader %v, follower %v", l.err, f.err)
+	}
+	if l.shared {
+		t.Fatal("leader flagged as shared")
+	}
+	if !f.shared {
+		t.Fatal("follower not flagged as shared")
+	}
+	if l.r != want || f.r != want {
+		t.Fatal("leader and follower do not share the result pointer")
+	}
+
+	// The key is gone after completion: a fresh call runs its function.
+	ran := false
+	if _, shared, _ := g.Do("k", func() (*engine.Result, error) { ran = true; return want, nil }); shared || !ran {
+		t.Fatal("completed flight entry was not cleared")
+	}
+}
+
+// TestSchedulerSingleFlightStress hammers one Scheduler plus one shared
+// disk-backed Cache from many workers with overlapping identical and
+// distinct cells (lazily built on the workers). The hard invariant under
+// -race: the number of simulations actually executed equals the number
+// of distinct keys — every duplicate was served by the cache or by
+// another cell's in-flight simulation — and every replica's result is
+// DeepEqual-identical to its group's.
+func TestSchedulerSingleFlightStress(t *testing.T) {
+	const distinct, replicas = 4, 12
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scheduler{Workers: 4 * runtime.GOMAXPROCS(0), Cache: cache}
+
+	var cells []Cell
+	for rep := 0; rep < replicas; rep++ {
+		for d := 0; d < distinct; d++ {
+			cells = append(cells, Cell{
+				Name:  fmt.Sprintf("stress-%d-rep%d", d, rep),
+				Build: func() (*models.Model, error) { return models.MLP(256, []int{256}, 64, 8), nil },
+				Mode:  "CA:LM",
+				Cfg:   engine.Config{Iterations: d + 1},
+			})
+		}
+	}
+	results, err := s.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Simulations(); got != distinct {
+		t.Fatalf("Simulations() = %d, want %d (one per distinct key)", got, distinct)
+	}
+	if st := cache.Stats(); st.Stores != distinct {
+		t.Fatalf("cache stores = %d, want %d (one writer per key)", st.Stores, distinct)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		group := i % distinct
+		if !reflect.DeepEqual(r, results[group]) {
+			t.Fatalf("replica %d differs from its group %d result", i, group)
+		}
+	}
+	t.Logf("stress: %d cells, %d simulations, %d single-flight dedups, stats %+v",
+		len(cells), s.Simulations(), s.Dedups(), cache.Stats())
+}
+
+// TestCacheConcurrentPutGet drives the sharded cache directly from many
+// goroutines mixing distinct-key writes, same-key overwrites and reads
+// — the -race witness that prefix-sharded locking and atomic stats hold
+// without the old cache-wide mutex.
+func TestCacheConcurrentPutGet(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, keys = 8, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("%02x-stress-key-%d", k*17%256, k)
+				r := &engine.Result{Mode: "CA:LM", IterTime: float64(k)}
+				if err := cache.Put(key, r); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok := cache.Get(key)
+				if !ok || got.IterTime != float64(k) {
+					t.Errorf("key %s: got %+v ok=%v", key, got, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := cache.Stats(); st.Hits != workers*keys || st.Stores != workers*keys {
+		t.Fatalf("stats = %+v, want %d hits and stores", st, workers*keys)
+	}
+}
+
+// TestKeyErrorSurfacedOnce: the first un-keyable cacheable cell prints
+// one process-wide stderr notice (then runs uncached); later failures
+// stay quiet instead of spamming per cell.
+func TestKeyErrorSurfacedOnce(t *testing.T) {
+	var buf bytes.Buffer
+	old := keyErrOut
+	keyErrOut = &buf
+	defer func() { keyErrOut = old }()
+
+	warnKeyError(fmt.Errorf("config field Cfg.Widget carries live state"))
+	warnKeyError(fmt.Errorf("another cell, same problem"))
+	out := buf.String()
+	if !strings.Contains(out, "Cfg.Widget") {
+		t.Fatalf("first key error not surfaced: %q", out)
+	}
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Fatalf("key error surfaced %d times, want once per process: %q", n, out)
+	}
+}
+
+// TestBuildErrorFailsCell: a Build error fails the batch wrapped with
+// the cell's name, and a Build returning nil is rejected.
+func TestBuildErrorFailsCell(t *testing.T) {
+	s := &Scheduler{}
+	_, err := s.Run([]Cell{{
+		Name:  "broken",
+		Build: func() (*models.Model, error) { return nil, fmt.Errorf("no such graph") },
+		Mode:  "CA:LM",
+	}})
+	if err == nil || !strings.Contains(err.Error(), "broken:") || !strings.Contains(err.Error(), "no such graph") {
+		t.Fatalf("Build error not propagated with cell name: %v", err)
+	}
+	_, err = s.Run([]Cell{{
+		Name:  "nilbuild",
+		Build: func() (*models.Model, error) { return nil, nil },
+		Mode:  "CA:LM",
+	}})
+	if err == nil || !strings.Contains(err.Error(), "nil model") {
+		t.Fatalf("nil Build result not rejected: %v", err)
+	}
+	if _, err = s.Run([]Cell{{Name: "empty", Mode: "CA:LM"}}); err == nil {
+		t.Fatal("cell with neither Model nor Build accepted")
+	}
+}
