@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"fmt"
+
+	"cachedarrays/internal/gcsim"
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/policy"
+)
+
+// Adaptive policy variants: names accepted by RunCAAdaptive and exposed
+// as scheduler modes. Each stacks adaptive layers on the full CA:LMP
+// switch set — the adaptive layers refine the strongest static baseline
+// rather than replace it.
+const (
+	// AdaptiveOG is online guidance alone: interval-based profiling and
+	// re-placement steered by the live metrics registry.
+	AdaptiveOG = "CA:OG"
+	// AdaptiveTG is the thrash guard alone over the static policy:
+	// evict/fetch ping-pong detection with fetch backoff.
+	AdaptiveTG = "CA:TG"
+	// AdaptiveOGTG is the full stack: thrash guard over online guidance.
+	AdaptiveOGTG = "CA:OGTG"
+)
+
+// AdaptiveModes lists the adaptive variants in rank order.
+var AdaptiveModes = []string{AdaptiveOG, AdaptiveTG, AdaptiveOGTG}
+
+// RunCAAdaptive executes a training run under an adaptive policy stack.
+// The stack always needs a live metrics registry (online guidance steers
+// by the slow tier's bandwidth-utilization series); when the caller did
+// not provide one, a private registry is created for the run. Sampling
+// never advances the clock or perturbs simulation state, so an adaptive
+// run with a private registry is exactly as deterministic — and as
+// cacheable — as a static one.
+func RunCAAdaptive(model *models.Model, variant string, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New(0)
+	}
+	p, release := acquirePlatform(cfg)
+	m, err := newManager(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gc := gcsim.New(m, p.Clock)
+	pcfg := policy.ConfigFor(policy.CALMP)
+	pcfg.PreferCleanVictims = cfg.PreferCleanVictims
+	base := policy.NewTieredConfig(m, pcfg, variant, gc)
+	slowUtil := "mem_" + p.Slow.Name + "_bw_util"
+	now := p.Clock.Now
+
+	var pol policy.Runtime
+	switch variant {
+	case AdaptiveOG:
+		pol = policy.NewOnlineGuidance(base, policy.GuidanceConfig{}, now, reg, slowUtil)
+	case AdaptiveTG:
+		pol = policy.NewThrashGuard(base, base, policy.ThrashConfig{}, now)
+	case AdaptiveOGTG:
+		og := policy.NewOnlineGuidance(base, policy.GuidanceConfig{}, now, reg, slowUtil)
+		pol = policy.NewThrashGuard(og, base, policy.ThrashConfig{}, now)
+	default:
+		return nil, fmt.Errorf("engine: unknown adaptive variant %q", variant)
+	}
+	return runCA(model, pol, gc, p, m, cfg, reg, release)
+}

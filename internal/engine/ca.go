@@ -9,6 +9,7 @@ import (
 	"cachedarrays/internal/gcsim"
 	"cachedarrays/internal/invariants"
 	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/policy"
 	"cachedarrays/internal/trace"
@@ -45,7 +46,7 @@ func RunCA(model *models.Model, mode policy.Mode, cfg Config) (*Result, error) {
 	pcfg := policy.ConfigFor(mode)
 	pcfg.PreferCleanVictims = cfg.PreferCleanVictims
 	pol := policy.NewTieredConfig(m, pcfg, mode.String(), gc)
-	return runCA(model, pol, gc, p, m, cfg, release)
+	return runCA(model, pol, gc, p, m, cfg, cfg.Metrics, release)
 }
 
 // newManager builds the data manager with the configured heap allocator.
@@ -93,14 +94,20 @@ func RunCAConfig(model *models.Model, pcfg policy.Config, name string, cfg Confi
 	}
 	gc := gcsim.New(m, p.Clock)
 	pol := policy.NewTieredConfig(m, pcfg, name, gc)
-	return runCA(model, pol, gc, p, m, cfg, release)
+	return runCA(model, pol, gc, p, m, cfg, cfg.Metrics, release)
 }
 
 // runCA executes the run; release returns the platform to the pool and is
 // called only on the success path (error paths abandon the platform in
-// whatever state the failure left it).
-func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
-	p *memsim.Platform, m *dm.Manager, cfg Config, release func()) (*Result, error) {
+// whatever state the failure left it). pol is any policy runtime — the
+// plain Tiered for the paper modes, a wrapped adaptive stack for the
+// CA:OG/CA:TG variants. reg is the registry the run's series register
+// into; it is usually cfg.Metrics, but adaptive runs pass a private
+// registry when the caller did not ask for one (the guidance policy
+// steers by live series, and sampling never perturbs the simulation, so
+// those runs stay cacheable).
+func runCA(model *models.Model, pol policy.Runtime, gc *gcsim.Collector,
+	p *memsim.Platform, m *dm.Manager, cfg Config, reg *metrics.Registry, release func()) (*Result, error) {
 
 	sched := trace.New(model)
 	if err := sched.Validate(); err != nil {
@@ -149,11 +156,11 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 	// The metrics registry threads through the same layers with the same
 	// nil-safety discipline: every layer registers its series, the clock
 	// drives sampling, and a nil registry records nothing.
-	wirePlatformMetrics(cfg.Metrics, p)
-	m.RegisterMetrics(cfg.Metrics)
-	pol.RegisterMetrics(cfg.Metrics)
-	gc.RegisterMetrics(cfg.Metrics)
-	rm := newRunMetrics(cfg.Metrics)
+	wirePlatformMetrics(reg, p)
+	m.RegisterMetrics(reg)
+	pol.RegisterMetrics(reg)
+	gc.RegisterMetrics(reg)
+	rm := newRunMetrics(reg)
 	objs := make([]*dm.Object, len(model.Tensors))
 
 	// Persistent tensors (weights, gradients, input batch) are allocated
@@ -382,6 +389,9 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 	res.DM = m.Stats()
 	res.GC = gc.Stats()
 	res.Faults = inj.Stats()
+	if src, ok := pol.(policy.AdaptiveSource); ok {
+		res.Adaptive = src.AdaptiveStats()
+	}
 	if chk != nil {
 		res.InvariantChecks = chk.Checks()
 		if err := chk.Err(); err != nil {
@@ -419,7 +429,7 @@ func runCA(model *models.Model, pol *policy.Tiered, gc *gcsim.Collector,
 		})
 		res.Trace = tr.Events()
 	}
-	finishMetrics(cfg.Metrics, model.Name, pol.Name(), p.Clock.Now())
+	finishMetrics(reg, model.Name, pol.Name(), p.Clock.Now())
 	release()
 	res.aggregate()
 	return res, nil

@@ -185,6 +185,11 @@ type Result struct {
 	DM     dm.Stats
 	GC     gcsim.Stats
 
+	// Adaptive holds the adaptive-layer decision counters when the run
+	// used an adaptive policy stack (CA:OG / CA:TG / CA:OGTG); zero for
+	// the static paper modes.
+	Adaptive policy.AdaptiveStats
+
 	// Faults aggregates the injector's activity when Config.FaultSpec was
 	// set (zero otherwise).
 	Faults faults.Stats

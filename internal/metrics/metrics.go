@@ -254,6 +254,27 @@ func (r *Registry) sample(now float64) {
 	}
 }
 
+// Value reads the live value of a registered series by name: the source
+// closure evaluated now, not the last sample. This is the read path
+// online-guidance policies steer by — the same per-tier bytes, bandwidth
+// utilization and decision counters the exports publish, consumed
+// mid-run to drive re-placement. The closure runs on the caller's
+// goroutine, which for policies is the simulation goroutine that owns
+// the sampled state. Returns (0, false) for unknown series or a nil
+// registry.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	c, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return c.fn(), true
+}
+
 // Samples returns the number of sample points taken so far.
 func (r *Registry) Samples() int {
 	if r == nil {

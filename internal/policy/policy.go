@@ -12,6 +12,7 @@ import (
 
 	"cachedarrays/internal/dm"
 	"cachedarrays/internal/gcsim"
+	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/tracing"
 )
 
@@ -36,6 +37,30 @@ type Hinter interface {
 	// Name identifies the policy configuration (for reports).
 	Name() string
 }
+
+// Runtime is the full policy surface the engine drives: the Hinter hints
+// plus pinning, statistics, instrumentation and audit entry points.
+// Tiered implements it directly; the adaptive policies (OnlineGuidance,
+// ThrashGuard) wrap a Tiered and interpose on the hint flow while
+// forwarding the rest — the engine runs any Runtime without knowing
+// which layers are stacked.
+type Runtime interface {
+	Hinter
+	// Pin/Unpin bracket kernel execution windows (§III-C): a pinned
+	// object's primary must not move.
+	Pin(o *dm.Object)
+	Unpin(o *dm.Object)
+	// Stats snapshots the base policy's decision counters.
+	Stats() Stats
+	// SetTracer attaches (or detaches) the execution-trace recorder.
+	SetTracer(tr *tracing.Recorder)
+	// RegisterMetrics registers the policy's telemetry series.
+	RegisterMetrics(reg *metrics.Registry)
+	// CheckInvariants audits the policy (and manager) state machine.
+	CheckInvariants() error
+}
+
+var _ Runtime = (*Tiered)(nil)
 
 // Mode selects one of the paper's CachedArrays operating modes (§IV).
 type Mode int
@@ -700,6 +725,22 @@ func (p *Tiered) untrackFast(o *dm.Object) {
 		p.pinnedBytes -= s.bytes
 	}
 	s.bytes = 0
+}
+
+// Touch refreshes o's recency without moving any data — the
+// fetch-suppressed form of a read hint, used by the thrash guard when it
+// backs a ping-ponging object off the placement churn: the object stays
+// where it is (NVRAM reads in place are slower but correct) while its
+// recency still reflects the access.
+func (p *Tiered) Touch(o *dm.Object) { p.touch(o) }
+
+// MarkWrite is the fetch-suppressed form of a write hint: the primary is
+// marked dirty wherever it lives (so a later eviction still writes the
+// data back correctly) and the recency refreshed, but no movement is
+// queued.
+func (p *Tiered) MarkWrite(o *dm.Object) {
+	p.m.MarkDirty(p.m.GetPrimary(o))
+	p.touch(o)
 }
 
 // touch refreshes o's recency: a used object is no longer archived and

@@ -1,0 +1,190 @@
+package policy
+
+import (
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/tracing"
+)
+
+// ThrashConfig tunes the thrash guard.
+type ThrashConfig struct {
+	// Window is the ping-pong detection window in virtual seconds: Trips
+	// fetches of the same object inside one window trip the guard.
+	Window float64
+	// Trips is how many fetches within Window mark an object as
+	// thrashing. The first fetch of an object is compulsory, so Trips=3
+	// means "evicted and re-fetched twice in quick succession".
+	Trips int
+	// Backoff is how long (virtual seconds) a tripped object's fetches
+	// are suppressed: hints refresh recency and dirty state but the data
+	// is served where it lives instead of ping-ponging.
+	Backoff float64
+}
+
+// ThrashDefaults returns the evaluated guard configuration.
+func ThrashDefaults() ThrashConfig {
+	return ThrashConfig{Window: 50e-3, Trips: 3, Backoff: 250e-3}
+}
+
+// guardState is the per-object ping-pong history.
+type guardState struct {
+	fetches []float64 // virtual times of the last <= Trips fetches
+	until   float64   // fetches suppressed while now < until
+}
+
+// ThrashGuard detects evict/fetch ping-pong — an object repeatedly
+// fetched into fast memory only to be evicted to make room for the next
+// fetch, each round trip paying a slow-tier read and often a writeback —
+// and backs the offending object off the placement churn: for a backoff
+// window its hints refresh recency (and dirty marking for writes) but
+// move no data, so the kernel reads it in place from the slow tier.
+// This trades a slower kernel for an unclogged copy engine, the
+// responsiveness-without-thrashing discipline of Jenga.
+//
+// The guard wraps any Runtime (the plain Tiered, or OnlineGuidance for
+// the fully adaptive stack); base names the underlying Tiered whose
+// residency lists and no-fetch entry points the guard needs.
+type ThrashGuard struct {
+	inner Runtime
+	base  *Tiered
+	tcfg  ThrashConfig
+	now   func() float64
+
+	objs   map[*dm.Object]*guardState
+	astats AdaptiveStats
+}
+
+var (
+	_ Runtime        = (*ThrashGuard)(nil)
+	_ AdaptiveSource = (*ThrashGuard)(nil)
+)
+
+// NewThrashGuard wraps inner with ping-pong backoff. base is the
+// underlying Tiered (identical to inner when guarding a static policy);
+// now is the virtual clock.
+func NewThrashGuard(inner Runtime, base *Tiered, tcfg ThrashConfig, now func() float64) *ThrashGuard {
+	d := ThrashDefaults()
+	if tcfg.Window <= 0 {
+		tcfg.Window = d.Window
+	}
+	if tcfg.Trips <= 0 {
+		tcfg.Trips = d.Trips
+	}
+	if tcfg.Backoff <= 0 {
+		tcfg.Backoff = d.Backoff
+	}
+	return &ThrashGuard{
+		inner: inner,
+		base:  base,
+		tcfg:  tcfg,
+		now:   now,
+		objs:  make(map[*dm.Object]*guardState),
+	}
+}
+
+// AdaptiveStats reports the guard's counters plus any wrapped adaptive
+// layer's (the OGTG stack reports one combined total).
+func (t *ThrashGuard) AdaptiveStats() AdaptiveStats {
+	s := t.astats
+	if src, ok := t.inner.(AdaptiveSource); ok {
+		s.Add(src.AdaptiveStats())
+	}
+	return s
+}
+
+// state returns (creating on demand) o's guard history.
+func (t *ThrashGuard) state(o *dm.Object) *guardState {
+	s, ok := t.objs[o]
+	if !ok {
+		s = &guardState{}
+		t.objs[o] = s
+	}
+	return s
+}
+
+// hint interposes on one access hint: while the object is backed off and
+// would need a fetch, the hint is absorbed (recency and dirty state still
+// recorded); otherwise it is forwarded, and a resulting slow→fast move is
+// recorded as a fetch — Trips fetches within Window trip the backoff.
+func (t *ThrashGuard) hint(o *dm.Object, write bool, forward func(*dm.Object)) {
+	now := t.now()
+	s := t.state(o)
+	m := t.base.Manager()
+	inFast := m.In(m.GetPrimary(o), dm.Fast)
+	if !inFast && now < s.until {
+		t.astats.SuppressedFetches++
+		if write {
+			t.base.MarkWrite(o)
+		} else {
+			t.base.Touch(o)
+		}
+		t.base.tr.Decision("thrash-suppress", o.ID(), o.Size())
+		return
+	}
+	forward(o)
+	if !inFast && m.In(m.GetPrimary(o), dm.Fast) {
+		// The hint fetched the object up. Remember when; a burst of
+		// re-fetches means every one of them was preceded by an
+		// eviction — the ping-pong signature.
+		s.fetches = append(s.fetches, now)
+		if len(s.fetches) > t.tcfg.Trips {
+			s.fetches = s.fetches[1:]
+		}
+		if len(s.fetches) == t.tcfg.Trips && now-s.fetches[0] <= t.tcfg.Window {
+			s.until = now + t.tcfg.Backoff
+			s.fetches = s.fetches[:0]
+			t.astats.ThrashBackoffs++
+			t.base.tr.Decision("thrash-backoff", o.ID(), o.Size())
+		}
+	}
+}
+
+// NewObject forwards allocation to the wrapped policy.
+func (t *ThrashGuard) NewObject(size int64) (*dm.Object, error) { return t.inner.NewObject(size) }
+
+// WillUse guards the direction-unknown hint.
+func (t *ThrashGuard) WillUse(o *dm.Object) { t.hint(o, false, t.inner.WillUse) }
+
+// WillRead guards the read hint.
+func (t *ThrashGuard) WillRead(o *dm.Object) { t.hint(o, false, t.inner.WillRead) }
+
+// WillWrite guards the write hint.
+func (t *ThrashGuard) WillWrite(o *dm.Object) { t.hint(o, true, t.inner.WillWrite) }
+
+// Archive forwards the archive hint (archival is not churn).
+func (t *ThrashGuard) Archive(o *dm.Object) { t.inner.Archive(o) }
+
+// Retire drops the guard history and forwards.
+func (t *ThrashGuard) Retire(o *dm.Object) {
+	delete(t.objs, o)
+	t.inner.Retire(o)
+}
+
+// Name reports the wrapped policy's name.
+func (t *ThrashGuard) Name() string { return t.inner.Name() }
+
+// Pin forwards to the wrapped policy.
+func (t *ThrashGuard) Pin(o *dm.Object) { t.inner.Pin(o) }
+
+// Unpin forwards to the wrapped policy.
+func (t *ThrashGuard) Unpin(o *dm.Object) { t.inner.Unpin(o) }
+
+// Stats forwards to the wrapped policy.
+func (t *ThrashGuard) Stats() Stats { return t.inner.Stats() }
+
+// SetTracer forwards to the wrapped policy.
+func (t *ThrashGuard) SetTracer(tr *tracing.Recorder) { t.inner.SetTracer(tr) }
+
+// CheckInvariants forwards to the wrapped policy.
+func (t *ThrashGuard) CheckInvariants() error { return t.inner.CheckInvariants() }
+
+// RegisterMetrics registers the wrapped policy's series plus the guard's
+// decision counters.
+func (t *ThrashGuard) RegisterMetrics(reg *metrics.Registry) {
+	t.inner.RegisterMetrics(reg)
+	if !reg.Enabled() {
+		return
+	}
+	reg.CounterFunc("thrash_backoffs", func() float64 { return float64(t.astats.ThrashBackoffs) })
+	reg.CounterFunc("thrash_suppressed_fetches", func() float64 { return float64(t.astats.SuppressedFetches) })
+}

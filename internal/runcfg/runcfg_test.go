@@ -262,3 +262,80 @@ func TestSchedulerFlags(t *testing.T) {
 		t.Fatalf("cacheless session has stats %+v", st)
 	}
 }
+
+// TestSchedulerMemoized: every Scheduler call on a session returns the
+// same instance — one single-flight group and one lifetime counter set
+// span all of a command's batches — and the first progress writer wins.
+func TestSchedulerMemoized(t *testing.T) {
+	f := parseFlags(t, "-parallel", "3")
+	sess, err := f.Start(true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	s1 := sess.Scheduler(io.Discard)
+	s2 := sess.Scheduler(nil) // later writers must not replace the first
+	if s1 != s2 {
+		t.Fatal("Scheduler returned distinct instances")
+	}
+	if s1.Workers != 3 {
+		t.Fatalf("workers = %d, want the -parallel value 3", s1.Workers)
+	}
+	if s1.Progress == nil {
+		t.Fatal("first call's progress writer was dropped")
+	}
+}
+
+// TestCachelessSessionLifecycle: a session without -cache (and without
+// -listen) still answers CacheStats with zeros and closes cleanly —
+// commands call both unconditionally.
+func TestCachelessSessionLifecycle(t *testing.T) {
+	sess, err := parseFlags(t).Start(false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.CacheStats(); got != (sched.CacheStats{}) {
+		t.Fatalf("cacheless CacheStats = %+v, want zeros", got)
+	}
+	if sess.Addr() != "" {
+		t.Fatalf("cacheless session reports address %q", sess.Addr())
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCachedSessionSchedulerUsesCache: the -cache flag's store reaches
+// the memoized scheduler, and a repeated batch is served from it.
+func TestCachedSessionSchedulerUsesCache(t *testing.T) {
+	f := parseFlags(t, "-cache", t.TempDir(), "-parallel", "1")
+	sess, err := f.Start(true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	s := sess.Scheduler(nil)
+	cells := []sched.Cell{{
+		Name: "lifecycle",
+		Build: func() (*models.Model, error) {
+			return models.MLP(2048, []int{2048}, 100, 8), nil
+		},
+		Mode: "CA:LM",
+		Cfg:  engine.Config{Iterations: 2, FastCapacity: units.GB, SlowCapacity: 8 * units.GB},
+	}}
+	if _, err := s.Run(cells); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(cells); err != nil {
+		t.Fatal(err)
+	}
+	if s.Simulations() != 1 {
+		t.Fatalf("simulations = %d, want 1 (second batch cache-served)", s.Simulations())
+	}
+	if st := sess.CacheStats(); st.Hits == 0 {
+		t.Fatalf("cache stats = %+v, want a hit", st)
+	}
+}

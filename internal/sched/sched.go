@@ -134,8 +134,11 @@ func (p *progressLine) update(done, total, cached int64) {
 
 // Run executes the cells and returns their results in submission order.
 // Cells run concurrently up to Workers; the first error wins and is
-// wrapped with its cell's name. Results served from the cache are shared
-// pointers — callers must treat them as read-only.
+// wrapped with its cell's name. Once any cell has failed, the remaining
+// cells are skipped instead of simulated — a failing 1000-cell sweep
+// reports after the in-flight work drains, not after burning the whole
+// suite. Results served from the cache are shared pointers — callers
+// must treat them as read-only.
 func (s *Scheduler) Run(cells []Cell) ([]*engine.Result, error) {
 	workers := s.Workers
 	if workers <= 0 {
@@ -147,42 +150,74 @@ func (s *Scheduler) Run(cells []Cell) ([]*engine.Result, error) {
 		every = 50 * time.Millisecond
 	}
 	var (
-		wg           sync.WaitGroup
-		sem          = make(chan struct{}, workers)
-		done, cached atomic.Int64
-		errMu        sync.Mutex
-		firstErr     error
-		prog         = &progressLine{w: s.Progress, every: every}
+		wg                            sync.WaitGroup
+		done, cached, failed, skipped atomic.Int64
+		errMu                         sync.Mutex
+		firstErr                      error
+		prog                          = &progressLine{w: s.Progress, every: every}
 	)
-	for i := range cells {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, hit, err := s.runCell(&cells[i])
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", cells[i].Name, err)
-				}
-				errMu.Unlock()
+	batchFailed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	// The feeder hands out cell indices in submission order and stops
+	// at the first recorded error, charging the undispatched tail to
+	// the skip counter. The unbuffered channel keeps at most one cell
+	// queued past the workers, so almost no work is committed before
+	// the error check sees it.
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range cells {
+			if batchFailed() {
+				skipped.Add(int64(len(cells) - i))
 				return
 			}
-			// Each cell owns its slot: no lock needed for the write.
-			results[i] = r
-			c := cached.Load()
-			if hit {
-				c = cached.Add(1)
+			idx <- i
+		}
+	}()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// Re-check on the worker: a cell the feeder queued
+				// before the failure landed is skipped here.
+				if batchFailed() {
+					skipped.Add(1)
+					continue
+				}
+				r, hit, err := s.runCell(&cells[i])
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", cells[i].Name, err)
+					}
+					errMu.Unlock()
+					failed.Add(1)
+					continue
+				}
+				// Each cell owns its slot: no lock needed for the write.
+				results[i] = r
+				c := cached.Load()
+				if hit {
+					c = cached.Add(1)
+				}
+				prog.update(done.Add(1), int64(len(cells)), c)
 			}
-			prog.update(done.Add(1), int64(len(cells)), c)
-		}(i)
+		}()
 	}
 	wg.Wait()
 	if s.Progress != nil && len(cells) > 0 {
-		d, c := done.Load(), cached.Load()
-		fmt.Fprintf(s.Progress, "\rsched: %d runs, %d cache hits, %d simulated, workers=%d\n",
-			d, c, d-c, workers)
+		d, c, f, sk := done.Load(), cached.Load(), failed.Load(), skipped.Load()
+		if f > 0 || sk > 0 {
+			fmt.Fprintf(s.Progress, "\rsched: %d/%d runs (%d ok, %d failed, %d skipped), %d cache hits, %d simulated, workers=%d\n",
+				d+f, int64(len(cells)), d, f, sk, c, d-c, workers)
+		} else {
+			fmt.Fprintf(s.Progress, "\rsched: %d runs, %d cache hits, %d simulated, workers=%d\n",
+				d, c, d-c, workers)
+		}
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -190,20 +225,33 @@ func (s *Scheduler) Run(cells []Cell) ([]*engine.Result, error) {
 	return results, nil
 }
 
-// keyErrOnce surfaces the first cache-key failure of the process: a key
-// error means engine.Config grew a field the hasher cannot canonicalize,
-// which silently disables memoization for every affected cell — worth
-// one loud line on stderr, not one per cell.
+// warnKeyError surfaces cache-key failures: a key error means
+// engine.Config grew a field the hasher cannot canonicalize, which
+// silently disables memoization for every affected cell — worth one loud
+// line on stderr per *distinct* failure, not one per cell. Deduplication
+// is by error message, not process-global: a second, different key
+// failure later in a long session (a different config field, a different
+// model serialization problem) still gets its own line instead of being
+// swallowed by the first.
 var (
-	keyErrOnce sync.Once
+	keyErrMu   sync.Mutex
+	keyErrSeen map[string]bool
 	keyErrOut  io.Writer = os.Stderr // swapped in tests
 )
 
 func warnKeyError(err error) {
-	keyErrOnce.Do(func() {
-		fmt.Fprintf(keyErrOut,
-			"sched: cannot compute result-cache keys; affected runs execute uncached: %v\n", err)
-	})
+	msg := err.Error()
+	keyErrMu.Lock()
+	defer keyErrMu.Unlock()
+	if keyErrSeen[msg] {
+		return
+	}
+	if keyErrSeen == nil {
+		keyErrSeen = make(map[string]bool)
+	}
+	keyErrSeen[msg] = true
+	fmt.Fprintf(keyErrOut,
+		"sched: cannot compute result-cache keys; affected runs execute uncached: %v\n", err)
 }
 
 // runCell executes one cell: model resolution (lazy Build runs here, on
@@ -293,12 +341,18 @@ func Normalize(mode string) (string, error) {
 		return "CA:LM", nil
 	case "CA:LMP":
 		return "CA:LMP", nil
+	case "CA:OG":
+		return "CA:OG", nil
+	case "CA:TG":
+		return "CA:TG", nil
+	case "CA:OGTG", "CA:TGOG":
+		return "CA:OGTG", nil
 	case "OS:PAGE", "OS":
 		return "OS:page", nil
 	case "AUTOTM", "AUTOTM:PLAN", "PLAN":
 		return "AutoTM", nil
 	default:
-		return "", fmt.Errorf("sched: unknown mode %q (2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, OS:page, AutoTM)", mode)
+		return "", fmt.Errorf("sched: unknown mode %q (2LM:0, 2LM:M, CA:0, CA:L, CA:LM, CA:LMP, CA:OG, CA:TG, CA:OGTG, OS:page, AutoTM)", mode)
 	}
 }
 
@@ -319,6 +373,8 @@ func RunMode(m *models.Model, mode string, cfg engine.Config) (*engine.Result, e
 		return engine.RunCA(m, policy.CALM, cfg)
 	case "CA:LMP":
 		return engine.RunCA(m, policy.CALMP, cfg)
+	case "CA:OG", "CA:TG", "CA:OGTG":
+		return engine.RunCAAdaptive(m, mode, cfg)
 	case "OS:page":
 		return engine.RunPageMig(m, pagemig.DefaultConfig(), cfg)
 	case "AutoTM":

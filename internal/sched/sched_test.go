@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -299,6 +301,73 @@ func TestRunOrderAndErrors(t *testing.T) {
 		t.Fatal("bad mode did not fail the batch")
 	} else if !strings.Contains(err.Error(), "b:") {
 		t.Fatalf("error %q not wrapped with the cell name", err)
+	}
+}
+
+// TestRunFastFailSkipsRemaining is the regression test for the
+// run-after-error waste: a 32-cell batch whose first cell errors must
+// not burn the remaining 31 simulations before reporting. With one
+// worker the feeder dispatches in submission order, so the failure
+// lands before any real cell runs and the whole tail is skipped.
+func TestRunFastFailSkipsRemaining(t *testing.T) {
+	const n = 32
+	cells := make([]Cell, n)
+	cells[0] = Cell{
+		Name:  "poisoned",
+		Build: func() (*models.Model, error) { return nil, fmt.Errorf("injected build failure") },
+		Mode:  "CA:LM",
+		Cfg:   engine.Config{Iterations: 1},
+	}
+	for i := 1; i < n; i++ {
+		cells[i] = Cell{
+			Name: fmt.Sprintf("real-%d", i),
+			// Distinct iteration counts defeat single-flight dedup, so
+			// Simulations() counts every cell that actually ran.
+			Build: func() (*models.Model, error) { return models.MLP(256, []int{256}, 64, 8), nil },
+			Mode:  "CA:LM",
+			Cfg:   engine.Config{Iterations: 1 + i%4},
+		}
+	}
+	s := &Scheduler{Workers: 1}
+	_, err := s.Run(cells)
+	if err == nil || !strings.Contains(err.Error(), "poisoned:") {
+		t.Fatalf("batch error = %v, want the poisoned cell's wrapped error", err)
+	}
+	if sims := s.Simulations(); sims >= n-1 {
+		t.Fatalf("scheduler simulated %d cells after the first error; fast-fail should skip the tail", sims)
+	} else if sims > 2 {
+		t.Errorf("scheduler simulated %d cells after an immediate cell-0 error, want at most the in-flight overlap (<= 2)", sims)
+	}
+}
+
+// TestRunSummaryCountsFailures: the final sched: summary must account
+// for every cell — errored cells used to skip the done counter, so the
+// summary undercounted processed cells and never mentioned the failure.
+func TestRunSummaryCountsFailures(t *testing.T) {
+	var buf bytes.Buffer
+	m := models.MLP(256, []int{256}, 64, 8)
+	cells := []Cell{
+		{Name: "ok", Model: m, Mode: "CA:LM", Cfg: engine.Config{Iterations: 1}},
+		{Name: "bad", Model: m, Mode: "NUMA", Cfg: engine.Config{Iterations: 1}},
+		{Name: "tail", Model: m, Mode: "CA:0", Cfg: engine.Config{Iterations: 1}},
+	}
+	s := &Scheduler{Workers: 1, Progress: &buf}
+	if _, err := s.Run(cells); err == nil {
+		t.Fatal("bad mode did not fail the batch")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2/3 runs (1 ok, 1 failed, 1 skipped)") {
+		t.Fatalf("summary does not account for the failed and skipped cells: %q", out)
+	}
+
+	// The success-path summary keeps its stable format (CI greps it).
+	buf.Reset()
+	okCells := []Cell{{Name: "ok", Model: m, Mode: "CA:LM", Cfg: engine.Config{Iterations: 1}}}
+	if _, err := (&Scheduler{Workers: 1, Progress: &buf}).Run(okCells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 runs, 0 cache hits, 1 simulated, workers=1") {
+		t.Fatalf("success summary format changed: %q", buf.String())
 	}
 }
 

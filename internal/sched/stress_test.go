@@ -171,23 +171,40 @@ func TestCacheConcurrentPutGet(t *testing.T) {
 	}
 }
 
-// TestKeyErrorSurfacedOnce: the first un-keyable cacheable cell prints
-// one process-wide stderr notice (then runs uncached); later failures
-// stay quiet instead of spamming per cell.
-func TestKeyErrorSurfacedOnce(t *testing.T) {
+// TestKeyErrorSurfacedOncePerDistinctError: an un-keyable cacheable cell
+// prints one stderr notice per *distinct* error message — repeats of the
+// same failure stay quiet instead of spamming per cell, but a different
+// key failure later in the session still surfaces instead of being
+// swallowed by a process-global once.
+func TestKeyErrorSurfacedOncePerDistinctError(t *testing.T) {
 	var buf bytes.Buffer
-	old := keyErrOut
-	keyErrOut = &buf
-	defer func() { keyErrOut = old }()
+	keyErrMu.Lock()
+	oldOut, oldSeen := keyErrOut, keyErrSeen
+	keyErrOut, keyErrSeen = &buf, nil
+	keyErrMu.Unlock()
+	defer func() {
+		keyErrMu.Lock()
+		keyErrOut, keyErrSeen = oldOut, oldSeen
+		keyErrMu.Unlock()
+	}()
 
 	warnKeyError(fmt.Errorf("config field Cfg.Widget carries live state"))
-	warnKeyError(fmt.Errorf("another cell, same problem"))
+	warnKeyError(fmt.Errorf("config field Cfg.Widget carries live state"))
 	out := buf.String()
 	if !strings.Contains(out, "Cfg.Widget") {
 		t.Fatalf("first key error not surfaced: %q", out)
 	}
 	if n := strings.Count(out, "\n"); n != 1 {
-		t.Fatalf("key error surfaced %d times, want once per process: %q", n, out)
+		t.Fatalf("repeated key error surfaced %d times, want once: %q", n, out)
+	}
+
+	warnKeyError(fmt.Errorf("config field Cfg.Gadget is unexported"))
+	out = buf.String()
+	if !strings.Contains(out, "Cfg.Gadget") {
+		t.Fatalf("second distinct key error swallowed: %q", out)
+	}
+	if n := strings.Count(out, "\n"); n != 2 {
+		t.Fatalf("got %d warning lines, want 2 (one per distinct error): %q", n, out)
 	}
 }
 

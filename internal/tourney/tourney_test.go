@@ -1,0 +1,152 @@
+package tourney
+
+import (
+	"reflect"
+	"testing"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/sched"
+	"cachedarrays/internal/units"
+)
+
+// testOptions is a small, fast tournament: two policies, two workloads,
+// one fault variant.
+func testOptions() Options {
+	build := func() (*models.Model, error) { return models.ResNet(50, 16), nil }
+	return Options{
+		Modes: []string{"CA:0", "CA:TG"},
+		Workloads: []Workload{
+			{Name: "resnet", Build: build,
+				Cfg: engine.Config{FastCapacity: 2 * units.GB, SlowCapacity: 64 * units.GB}},
+			{Name: "resnet-tight", Build: build,
+				Cfg: engine.Config{FastCapacity: 512 * units.MB, SlowCapacity: 64 * units.GB}},
+		},
+		Faults:     []FaultVariant{{Name: "bw", Spec: "seed=7;bw:{slow}:t0=0.01,factor=0.25"}},
+		Iterations: 2,
+	}
+}
+
+func TestRunShapeAndRanking(t *testing.T) {
+	res, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2; len(res.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(res.Cells), want)
+	}
+	if len(res.Scores) != 2 {
+		t.Fatalf("scores = %d, want 2", len(res.Scores))
+	}
+	for i, s := range res.Scores {
+		if s.Rank != i+1 {
+			t.Errorf("score %d has rank %d", i, s.Rank)
+		}
+		if s.RelTime < 1 {
+			t.Errorf("%s: relative time %.3f below 1 (better than the best?)", s.Mode, s.RelTime)
+		}
+		if i > 0 && s.RelTime < res.Scores[i-1].RelTime {
+			t.Errorf("ranking not sorted: %.3f after %.3f", s.RelTime, res.Scores[i-1].RelTime)
+		}
+		if s.FaultDegradation < 1 {
+			t.Errorf("%s: fault degradation %.3f below 1", s.Mode, s.FaultDegradation)
+		}
+	}
+	if res.Scores[0].Wins == 0 {
+		t.Error("the winning mode won no workload")
+	}
+}
+
+// TestRunDeterministic: two tournaments over the same options must be
+// byte-identical in every rendering — the property the CI smoke pins.
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical tournaments differ")
+	}
+	if a.Ranking().CSV() != b.Ranking().CSV() {
+		t.Fatal("ranking CSV not byte-identical")
+	}
+	if a.CellTable().CSV() != b.CellTable().CSV() {
+		t.Fatal("cell CSV not byte-identical")
+	}
+}
+
+// TestRunWarmCache: a second tournament through the same cached scheduler
+// simulates nothing — every clean cell is served from the result cache.
+func TestRunWarmCache(t *testing.T) {
+	cache, err := sched.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &sched.Scheduler{Cache: cache}
+	opts := testOptions()
+	opts.Faults = []FaultVariant{} // faulted cells always bypass the cache
+	opts.Sched = s
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSims := s.Simulations()
+	if coldSims == 0 {
+		t.Fatal("cold tournament simulated nothing")
+	}
+	warm, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Simulations(); got != coldSims {
+		t.Fatalf("warm tournament simulated %d new cells, want 0", got-coldSims)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cache-served tournament differs from the simulated one")
+	}
+}
+
+func TestRunRejectsNonCAMode(t *testing.T) {
+	opts := testOptions()
+	opts.Modes = []string{"2LM:0"}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("2LM baseline accepted as a tournament policy")
+	}
+	opts.Modes = []string{"CA:BOGUS"}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestDefaultWorkloads: the standard matrix has the documented seven
+// columns and the tight variants actually constrain DRAM.
+func TestDefaultWorkloads(t *testing.T) {
+	ws := DefaultWorkloads(64)
+	if len(ws) != 7 {
+		t.Fatalf("workloads = %d, want 7", len(ws))
+	}
+	names := map[string]bool{}
+	tight, cxl := 0, 0
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		if w.Cfg.FastCapacity != 0 {
+			tight++
+		}
+		if w.Cfg.SlowTier == "cxl" {
+			cxl++
+		}
+		if m, err := w.Build(); err != nil || m == nil {
+			t.Errorf("%s: build failed: %v", w.Name, err)
+		}
+	}
+	if tight != 3 || cxl != 1 {
+		t.Errorf("tight=%d cxl=%d, want 3 and 1", tight, cxl)
+	}
+}
