@@ -28,13 +28,14 @@ import (
 
 func main() {
 	var (
-		iters    = flag.Int("iters", 2, "training iterations per run (first is warm-up)")
-		scale    = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
-		modes    = flag.String("modes", "", "comma list of candidate modes (default: all CA modes incl. adaptive)")
-		nofaults = flag.Bool("nofaults", false, "skip the fault-injected degradation variants")
-		fault    = flag.String("fault", "", "replace the default fault variants with one name=spec pair ({slow} expands to the workload's slow device)")
-		outdir   = flag.String("outdir", "", "write ranking.csv and cells.csv here instead of printing text")
-		asJSON   = flag.Bool("json", false, "print the full result as JSON on stdout")
+		iters     = flag.Int("iters", 2, "training iterations per run (first is warm-up)")
+		scale     = flag.Int("scale", 1, "divide batch sizes by this factor (quick looks)")
+		modes     = flag.String("modes", "", "comma list of candidate modes (default: all CA modes incl. adaptive)")
+		nofaults  = flag.Bool("nofaults", false, "skip the fault-injected degradation variants")
+		nocluster = flag.Bool("nocluster", false, "skip the noisy-neighbour contention column (2-tenant cluster run per mode)")
+		fault     = flag.String("fault", "", "replace the default fault variants with one name=spec pair ({slow} expands to the workload's slow device)")
+		outdir    = flag.String("outdir", "", "write ranking.csv and cells.csv here instead of printing text")
+		asJSON    = flag.Bool("json", false, "print the full result as JSON on stdout")
 	)
 	shared := runcfg.Register(flag.CommandLine)
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 	opts := tourney.Options{
 		Iterations: *iters,
 		Scale:      *scale,
+		NoCluster:  *nocluster,
 		Instrument: sess.Apply,
 		Sched:      sess.Scheduler(os.Stderr),
 	}

@@ -1,0 +1,162 @@
+package alloc
+
+import "fmt"
+
+// Quota is a shared byte budget arbitrating one device's capacity between
+// several allocators. The cluster simulator gives every tenant a private
+// allocator (its own address space, its own region index) but wires all of
+// them to one Quota per tier, so the *aggregate* bytes the tenants hold can
+// never exceed the device — the multi-tenant generalization of the single
+// pre-allocated heap.
+//
+// A Quota is not safe for concurrent use: the cluster's event loop runs
+// tenants one at a time under a single virtual clock, which is also what
+// keeps runs deterministic.
+type Quota struct {
+	capacity int64
+	used     int64
+}
+
+// NewQuota builds a budget of capacity bytes.
+func NewQuota(capacity int64) *Quota {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Quota{capacity: capacity}
+}
+
+// Capacity returns the budget.
+func (q *Quota) Capacity() int64 { return q.capacity }
+
+// Used returns the bytes currently reserved across all sharing allocators.
+func (q *Quota) Used() int64 { return q.used }
+
+// Avail returns the bytes still reservable.
+func (q *Quota) Avail() int64 { return q.capacity - q.used }
+
+// reserve takes n bytes from the budget, reporting false (and reserving
+// nothing) when fewer than n are available.
+func (q *Quota) reserve(n int64) bool {
+	if q.used+n > q.capacity {
+		return false
+	}
+	q.used += n
+	return true
+}
+
+// release returns n bytes to the budget.
+func (q *Quota) release(n int64) {
+	q.used -= n
+	if q.used < 0 {
+		panic(fmt.Sprintf("alloc: quota released below zero (%d)", q.used))
+	}
+}
+
+// Limited wraps an allocator with a shared Quota: Alloc additionally
+// reserves the block's (rounded) size from the budget and fails with
+// ErrExhausted when the budget cannot cover it — exactly the signal a full
+// tier produces, so the policy layer evicts or degrades to slow placement
+// with no new code paths. Free and Reset return the reservation.
+//
+// Capacity/Used/FreeBytes report the *inner* allocator's numbers: the
+// per-allocator conservation law (used + free == capacity) that the
+// invariants auditor enforces keeps holding per tenant; the cross-tenant
+// budget is the Quota's own accounting.
+type Limited struct {
+	inner   Allocator
+	quota   *Quota
+	charged int64
+}
+
+// Limit wraps a with the shared quota (nil quota returns a unchanged).
+// When the inner allocator supports compaction the wrapper does too —
+// compaction moves blocks without changing their sizes, so the budget is
+// untouched.
+func Limit(a Allocator, q *Quota) Allocator {
+	if q == nil {
+		return a
+	}
+	l := &Limited{inner: a, quota: q}
+	if _, ok := a.(Compactor); ok {
+		return &limitedCompactor{l}
+	}
+	return l
+}
+
+// Alloc reserves from the budget, then from the inner allocator. The
+// budget charge is the inner allocator's rounded block size, so quota
+// accounting matches heap accounting exactly.
+func (l *Limited) Alloc(size int64) (int64, error) {
+	if size > l.quota.Avail() {
+		return 0, ErrExhausted
+	}
+	off, err := l.inner.Alloc(size)
+	if err != nil {
+		return 0, err
+	}
+	actual := l.inner.SizeOf(off)
+	if !l.quota.reserve(actual) {
+		l.inner.Free(off)
+		return 0, ErrExhausted
+	}
+	l.charged += actual
+	return off, nil
+}
+
+// Free releases the block and returns its reservation to the budget.
+func (l *Limited) Free(offset int64) {
+	actual := l.inner.SizeOf(offset)
+	l.inner.Free(offset)
+	l.quota.release(actual)
+	l.charged -= actual
+}
+
+// Reset empties the allocator and refunds everything it had reserved.
+func (l *Limited) Reset() {
+	l.inner.Reset()
+	l.quota.release(l.charged)
+	l.charged = 0
+}
+
+// CheckInvariants validates the inner allocator and the quota bookkeeping:
+// the wrapper's cumulative charge must equal the inner allocator's used
+// bytes, and no quota can run past its budget.
+func (l *Limited) CheckInvariants() error {
+	if err := l.inner.CheckInvariants(); err != nil {
+		return err
+	}
+	if l.charged != l.inner.Used() {
+		return fmt.Errorf("alloc: quota charge %d != inner used %d", l.charged, l.inner.Used())
+	}
+	if l.quota.used > l.quota.capacity {
+		return fmt.Errorf("alloc: quota overcommitted: used %d > capacity %d", l.quota.used, l.quota.capacity)
+	}
+	if l.quota.used < 0 {
+		return fmt.Errorf("alloc: quota used negative: %d", l.quota.used)
+	}
+	return nil
+}
+
+// The rest of the interface delegates.
+
+func (l *Limited) SizeOf(offset int64) int64 { return l.inner.SizeOf(offset) }
+func (l *Limited) Capacity() int64           { return l.inner.Capacity() }
+func (l *Limited) Used() int64               { return l.inner.Used() }
+func (l *Limited) FreeBytes() int64          { return l.inner.FreeBytes() }
+func (l *Limited) LargestFree() int64        { return l.inner.LargestFree() }
+func (l *Limited) Blocks(fn func(offset, size int64) bool) {
+	l.inner.Blocks(fn)
+}
+func (l *Limited) BlocksIn(start, length int64, fn func(offset, size int64) bool) {
+	l.inner.BlocksIn(start, length, fn)
+}
+
+// limitedCompactor adds Compact for inner allocators that support it; the
+// split type keeps the Compactor assertion honest for those that do not.
+type limitedCompactor struct {
+	*Limited
+}
+
+func (l *limitedCompactor) Compact(move func(oldOffset, newOffset, size int64)) {
+	l.inner.(Compactor).Compact(move)
+}

@@ -1,0 +1,420 @@
+// Package cluster multiplexes N engine jobs onto one shared memsim
+// platform under a single global virtual clock, then scales out to M
+// platforms behind a Router with pluggable admission/placement policies.
+//
+// The simulator leans on the engine's event-driven core: every job is an
+// engine.Stepper whose events (one kernel with its hints and annotations,
+// or one iteration boundary) are dispatched one at a time in timestamp
+// order. Each tenant carries a private event timestamp — its arrival time
+// plus the virtual time its own events have consumed — and the dispatch
+// loop always runs the tenant with the smallest timestamp, breaking ties
+// by job index. The result is the deterministic merge of N solo event
+// streams onto one platform: tenants interleave in proportion to their
+// event durations, and a cluster with a single tenant replays the solo
+// engine run byte-for-byte (the property the N=1 identity tests pin).
+//
+// Tenants share the platform's memory system but keep private runtimes:
+// each job gets its own data manager, policy instance and GC over private
+// allocators, while per-tier alloc.Quota budgets arbitrate the shared
+// device capacity — the aggregate bytes held by all tenants can never
+// exceed the device, and a tenant squeezed by its neighbours sees
+// allocation exhaustion exactly as it would on a smaller device. The copy
+// engine is genuinely shared: one tenant's queued movement delays
+// another's waits, which is the interference channel the fairness metrics
+// (slowdown vs. solo, fast-tier share, induced evictions) measure.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/invariants"
+	"cachedarrays/internal/memsim"
+	"cachedarrays/internal/metrics"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/sched"
+)
+
+// Job describes one tenant submitted to a cluster.
+type Job struct {
+	// Name labels the tenant in results and errors ("job<i>" if empty).
+	Name string
+	// Model is the pre-built workload. Leave nil and set Build to defer
+	// construction until the job is placed (router runs build only the
+	// jobs a platform actually admits).
+	Model *models.Model
+	// Build constructs the job's model when Model is nil. It must be
+	// deterministic.
+	Build func() (*models.Model, error)
+	// Mode is the operating mode (any sched.Normalize spelling).
+	Mode string
+	// Arrival is the job's arrival offset in virtual seconds: the origin
+	// of its private event timeline, so jobs arriving later merge later.
+	// It biases the merge order only — the global clock never idles (no
+	// events, no time), so arrival offsets do not appear in clock-based
+	// timings. That is what keeps a lone tenant byte-identical to the
+	// solo engine run for any arrival.
+	Arrival float64
+	// Iterations overrides the shared config's iteration count for this
+	// job (0 keeps it). Platform-shaping fields cannot vary per job.
+	Iterations int
+}
+
+// Config parameterizes one shared-platform cluster run.
+type Config struct {
+	// Engine is the shared platform description plus the per-run knobs
+	// every tenant inherits. With more than one job, Trace and FaultSpec
+	// are rejected (the platform has a single tracer/injector slot) and
+	// Metrics becomes the cluster-level registry: the per-tenant fairness
+	// series register there instead of the engine's solo series. With
+	// exactly one job every field passes through untouched.
+	Engine engine.Config
+	// Jobs are the tenants.
+	Jobs []Job
+	// Baselines, when non-nil, computes each tenant's solo run through
+	// the shared scheduler/result cache and fills the fairness fields
+	// (SoloTime, Slowdown, InducedEvictions). Solo runs strip
+	// instrumentation that does not perturb results, so they cache.
+	Baselines *sched.Scheduler
+}
+
+// Tenant is one job's outcome and fairness metrics.
+type Tenant struct {
+	Name    string
+	Mode    string
+	Arrival float64
+
+	// Start and Finish bound the tenant's active span on the global
+	// clock: Start is taken after setup (persistent allocation), matching
+	// the solo run's measurement origin; Finish after its last event.
+	// The global clock only moves while events run, so these are not
+	// comparable to Arrival, which lives on the tenant's private merge
+	// timeline.
+	Start  float64
+	Finish float64
+	// Busy is the virtual time the tenant's own events consumed; Wait is
+	// the remainder of the active span — time the platform spent running
+	// other tenants' events.
+	Busy float64
+	Wait float64
+	// FirstDispatch is the global dispatch sequence number of the
+	// tenant's first event — the observable the tie-breaking regression
+	// tests pin.
+	FirstDispatch int
+	// Steps counts the tenant's dispatched events.
+	Steps int
+
+	// FastBytes/SlowBytes are the device traffic attributed to this
+	// tenant (exact: only one tenant runs at a time, and movement is
+	// charged when its owner dispatches). FastShare is this tenant's
+	// fraction of all fast-tier traffic.
+	FastBytes int64
+	SlowBytes int64
+	FastShare float64
+
+	// SoloTime is the tenant's solo total (sum of iteration times) from
+	// the baseline run; Slowdown is the active span over SoloTime. Both
+	// zero when Config.Baselines is nil. InducedEvictions is the
+	// tenant's evictions beyond its solo count — co-tenant pressure made
+	// visible.
+	SoloTime         float64
+	Slowdown         float64
+	InducedEvictions int64
+
+	// Result is the tenant's full engine result.
+	Result *engine.Result
+}
+
+// Result is a cluster run's outcome.
+type Result struct {
+	Tenants []Tenant
+	// Makespan is the global clock when the last tenant finished.
+	Makespan float64
+	// Dispatches counts dispatched events across all tenants.
+	Dispatches int
+}
+
+// tenant is the dispatch loop's per-job state.
+type tenant struct {
+	name  string
+	mode  string
+	model *models.Model
+	cfg   engine.Config
+	job   Job
+
+	st       engine.Stepper
+	finished bool
+	// next is the private event timestamp: arrival + the virtual time
+	// this tenant's events have consumed. The dispatch loop runs the
+	// smallest next first.
+	next float64
+
+	start, finish float64
+	busy          float64
+	firstDispatch int
+	steps         int
+	fastBytes     int64
+	slowBytes     int64
+	result        *engine.Result
+}
+
+// Run executes the cluster: all jobs on one shared platform.
+func Run(cfg Config) (*Result, error) {
+	tenants, ecfg, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p, release := engine.AcquirePlatform(ecfg)
+	if err := dispatch(tenants, ecfg, p); err != nil {
+		return nil, err // abandon the platform in its failed state
+	}
+	res := collect(tenants, p.Clock.Now())
+	if len(cfg.Jobs) > 1 && ecfg.Metrics.Enabled() {
+		ecfg.Metrics.SetMeta("mode", "cluster")
+		ecfg.Metrics.SetMeta("model", fmt.Sprintf("%d-tenant", len(cfg.Jobs)))
+		ecfg.Metrics.Flush(p.Clock.Now())
+	}
+	release()
+	if cfg.Baselines != nil {
+		if err := fairness(res, tenants, cfg.Baselines); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// prepare validates the config and resolves every job's model, mode and
+// per-tenant config before any simulation state exists.
+func prepare(cfg Config) ([]*tenant, engine.Config, error) {
+	ecfg := cfg.Engine.Canonical()
+	if len(cfg.Jobs) == 0 {
+		return nil, ecfg, errors.New("cluster: no jobs")
+	}
+	multi := len(cfg.Jobs) > 1
+	if multi && ecfg.Trace {
+		return nil, ecfg, errors.New("cluster: tracing requires a dedicated platform (one tracer slot); run the job solo or alone in the cluster")
+	}
+	if multi && ecfg.FaultSpec != "" {
+		return nil, ecfg, errors.New("cluster: fault injection requires a dedicated platform (one injector slot per device)")
+	}
+	tenants := make([]*tenant, len(cfg.Jobs))
+	for i, j := range cfg.Jobs {
+		mode, err := sched.Normalize(j.Mode)
+		if err != nil {
+			return nil, ecfg, fmt.Errorf("cluster: job %d: %w", i, err)
+		}
+		m := j.Model
+		if m == nil {
+			if j.Build == nil {
+				return nil, ecfg, fmt.Errorf("cluster: job %d has neither Model nor Build", i)
+			}
+			if m, err = j.Build(); err != nil {
+				return nil, ecfg, fmt.Errorf("cluster: job %d: %w", i, err)
+			}
+			if m == nil {
+				return nil, ecfg, fmt.Errorf("cluster: job %d: Build returned a nil model", i)
+			}
+		}
+		name := j.Name
+		if name == "" {
+			name = fmt.Sprintf("job%d", i)
+		}
+		jobCfg := ecfg
+		if j.Iterations > 0 {
+			jobCfg.Iterations = j.Iterations
+		}
+		if multi {
+			// The shared registry belongs to the cluster (fairness
+			// series); tenants must not register their solo series into
+			// it — series names would collide.
+			jobCfg.Metrics = nil
+		}
+		if j.Arrival < 0 {
+			return nil, ecfg, fmt.Errorf("cluster: job %d: negative arrival %g", i, j.Arrival)
+		}
+		tenants[i] = &tenant{
+			name: name, mode: mode, model: m, cfg: jobCfg, job: j,
+			next: j.Arrival,
+		}
+	}
+	return tenants, ecfg, nil
+}
+
+// dispatch is the timestamp-ordered event loop: repeatedly run the
+// unfinished tenant with the smallest private timestamp (ties broken by
+// job index — the loop scans in index order and strictly-smaller wins),
+// until every tenant has finished.
+func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform) error {
+	env := &engine.Env{
+		Platform:  p,
+		FastQuota: alloc.NewQuota(p.Fast.Capacity),
+		SlowQuota: alloc.NewQuota(p.Slow.Capacity),
+	}
+	// The clock has one OnAdvance hook and one Metrics slot; the cluster
+	// claims the hook and fans each advance out to every tenant's
+	// invariant checker and metrics registry.
+	var checkers []*invariants.Checker
+	var regs []*metrics.Registry
+	env.OnChecker = func(c *invariants.Checker) { checkers = append(checkers, c) }
+	env.OnRegistry = func(r *metrics.Registry) { regs = append(regs, r) }
+	p.Clock.OnAdvance = func(now, dt float64) {
+		for _, c := range checkers {
+			c.OnAdvance(now, dt)
+		}
+		for _, r := range regs {
+			r.Tick(now, dt)
+		}
+	}
+	if len(tenants) > 1 && ecfg.Metrics.Enabled() {
+		registerClusterSeries(ecfg.Metrics, tenants)
+		regs = append(regs, ecfg.Metrics)
+	}
+
+	dispatches := 0
+	for {
+		best := -1
+		for i, t := range tenants {
+			if t.finished {
+				continue
+			}
+			if best < 0 || t.next < tenants[best].next {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		t := tenants[best]
+		if t.st == nil {
+			// First dispatch: build the stepper now, so the job's setup
+			// (persistent allocation, instrumentation wiring) happens at
+			// its place in the merged order, atomically with its first
+			// event. Setup traffic is attributed to the tenant; Start is
+			// taken after setup, matching the solo measurement origin.
+			fb, sb := p.Fast.Counters(), p.Slow.Counters()
+			st, err := engine.NewStepper(t.model, t.mode, t.cfg, env)
+			if err != nil {
+				return fmt.Errorf("cluster: %s: %w", t.name, err)
+			}
+			t.st = st
+			t.start = p.Clock.Now()
+			t.firstDispatch = dispatches
+			t.fastBytes += p.Fast.Counters().TotalBytes() - fb.TotalBytes()
+			t.slowBytes += p.Slow.Counters().TotalBytes() - sb.TotalBytes()
+		}
+		if !t.st.Done() {
+			fb, sb := p.Fast.Counters(), p.Slow.Counters()
+			before := p.Clock.Now()
+			if _, err := t.st.Step(); err != nil {
+				return fmt.Errorf("cluster: %s: %w", t.name, err)
+			}
+			dt := p.Clock.Now() - before
+			t.busy += dt
+			t.next += dt
+			t.fastBytes += p.Fast.Counters().TotalBytes() - fb.TotalBytes()
+			t.slowBytes += p.Slow.Counters().TotalBytes() - sb.TotalBytes()
+			t.steps++
+			dispatches++
+		}
+		if t.st.Done() {
+			res, err := t.st.Finish()
+			if err != nil {
+				return fmt.Errorf("cluster: %s: %w", t.name, err)
+			}
+			t.result = res
+			t.finished = true
+			t.finish = p.Clock.Now()
+		}
+	}
+}
+
+// collect assembles the tenants' outcomes.
+func collect(tenants []*tenant, makespan float64) *Result {
+	res := &Result{Makespan: makespan}
+	var totalFast int64
+	for _, t := range tenants {
+		totalFast += t.fastBytes
+		res.Dispatches += t.steps
+	}
+	for _, t := range tenants {
+		out := Tenant{
+			Name: t.name, Mode: t.mode, Arrival: t.job.Arrival,
+			Start: t.start, Finish: t.finish, Busy: t.busy,
+			Wait:          t.finish - t.start - t.busy,
+			FirstDispatch: t.firstDispatch, Steps: t.steps,
+			FastBytes: t.fastBytes, SlowBytes: t.slowBytes,
+			Result: t.result,
+		}
+		if totalFast > 0 {
+			out.FastShare = float64(t.fastBytes) / float64(totalFast)
+		}
+		res.Tenants = append(res.Tenants, out)
+	}
+	return res
+}
+
+// fairness runs each tenant's solo baseline through the scheduler (and
+// its result cache) and fills the interference metrics.
+func fairness(res *Result, tenants []*tenant, s *sched.Scheduler) error {
+	cells := make([]sched.Cell, len(tenants))
+	for i, t := range tenants {
+		cells[i] = sched.Cell{
+			Name:  t.name + "/solo",
+			Model: t.model,
+			Mode:  t.mode,
+			Cfg:   baselineConfig(t.cfg),
+		}
+	}
+	solo, err := s.Run(cells)
+	if err != nil {
+		return fmt.Errorf("cluster: baselines: %w", err)
+	}
+	for i := range tenants {
+		tn := &res.Tenants[i]
+		var total float64
+		for _, it := range solo[i].Iterations {
+			total += it.Time
+		}
+		tn.SoloTime = total
+		if total > 0 {
+			tn.Slowdown = (tn.Finish - tn.Start) / total
+		}
+		if d := tn.Result.Policy.Evictions - solo[i].Policy.Evictions; d > 0 {
+			tn.InducedEvictions = d
+		}
+	}
+	return nil
+}
+
+// baselineConfig strips the instrumentation that never perturbs results
+// (so solo baselines stay cacheable) while keeping everything that does.
+func baselineConfig(cfg engine.Config) engine.Config {
+	cfg.Metrics = nil
+	cfg.Trace = false
+	cfg.TraceEvents = 0
+	cfg.CheckEveryAdvance = false
+	cfg.CheckInvariants = false
+	return cfg
+}
+
+// registerClusterSeries registers the per-tenant fairness series into the
+// cluster-level registry. Names key by job index — tenant names are
+// caller-chosen and may repeat.
+func registerClusterSeries(reg *metrics.Registry, tenants []*tenant) {
+	for i, t := range tenants {
+		t := t
+		pre := fmt.Sprintf("cluster_t%d_", i)
+		reg.CounterFunc(pre+"fast_bytes", func() float64 { return float64(t.fastBytes) })
+		reg.CounterFunc(pre+"slow_bytes", func() float64 { return float64(t.slowBytes) })
+		reg.CounterFunc(pre+"busy_seconds", func() float64 { return t.busy })
+		reg.CounterFunc(pre+"events", func() float64 { return float64(t.steps) })
+		reg.Gauge(pre+"active", func() float64 {
+			if t.st != nil && !t.finished {
+				return 1
+			}
+			return 0
+		})
+	}
+}

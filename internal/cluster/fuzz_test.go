@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/dm"
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/units"
+)
+
+// fuzzScenario decodes an arbitrary byte string into a small but fully
+// valid routed cluster scenario: 1-4 jobs over 1-2 platforms with
+// fuzzer-chosen modes, arrivals, shapes, placement policy and a tight
+// fast tier. The slow tier is kept generous so persistent working sets
+// always fit — any failure beyond allocator exhaustion is then a finding,
+// not a malformed input.
+func fuzzScenario(data []byte) (RouterConfig, bool) {
+	if len(data) < 7 {
+		return RouterConfig{}, false
+	}
+	n := 1 + int(data[0])%4
+	m := 1 + int(data[1])%2
+	policy := Policies[int(data[2])%len(Policies)]
+	fast := int64(8+int(data[3])%4*8) * units.MB
+	iters := 1 + int(data[4])%2
+	if len(data) < 5+2*n {
+		return RouterConfig{}, false
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		x, y := data[5+2*i], data[6+2*i]
+		jobs[i] = Job{
+			Model:   models.MLP(256<<(x%2), []int{512 << (y % 3)}, 10, 32),
+			Mode:    allModes[int(x)%len(allModes)],
+			Arrival: float64(y) / 255 * 0.01,
+		}
+	}
+	platforms := make([]engine.Config, m)
+	for pi := range platforms {
+		platforms[pi] = engine.Config{
+			FastCapacity:      fast << pi,
+			SlowCapacity:      units.GB,
+			Iterations:        iters,
+			CheckInvariants:   true,
+			CheckEveryAdvance: true,
+		}
+	}
+	return RouterConfig{Platforms: platforms, Jobs: jobs, Policy: policy}, true
+}
+
+// FuzzClusterSchedule drives arbitrary job mixes through the router and
+// the shared-platform dispatch loop with the invariants auditor attached
+// to every clock advance. The oracles: no panic; no error other than
+// allocator exhaustion under pressure (in particular, no per-tenant
+// byte-conservation violation at any virtual timestamp); every admitted
+// tenant runs to completion with sane timing; and the whole scenario is
+// deterministic — a second run is byte-identical.
+func FuzzClusterSchedule(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 1, 1, 0, 5, 10, 3, 200})
+	f.Add([]byte{3, 1, 2, 0, 1, 0, 0, 4, 50, 8, 100, 10, 255})
+	f.Add([]byte{2, 1, 3, 3, 1, 9, 0, 9, 0, 9, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, ok := fuzzScenario(data)
+		if !ok {
+			return
+		}
+		res, err := Route(cfg)
+		if err != nil {
+			if errors.Is(err, dm.ErrExhausted) {
+				return // capacity pressure is a legal outcome, not a finding
+			}
+			t.Fatalf("scenario %v: %v", data, err)
+		}
+		again, err := Route(cfg)
+		if err != nil {
+			t.Fatalf("repeat run failed: %v", err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatal("repeat run differs")
+		}
+		placed := 0
+		for _, pi := range res.Placement {
+			if pi >= 0 {
+				placed++
+			}
+		}
+		ran := 0
+		for pi, pr := range res.Platforms {
+			if pr == nil {
+				continue
+			}
+			ran += len(pr.Tenants)
+			var shares float64
+			for _, tn := range pr.Tenants {
+				if tn.Result == nil {
+					t.Fatalf("platform %d tenant %s: no result", pi, tn.Name)
+				}
+				// Only the CA stack wires the per-advance auditor (the
+				// baseline modes have no data manager to audit).
+				if strings.HasPrefix(tn.Mode, "CA:") && tn.Result.InvariantChecks == 0 {
+					t.Fatalf("platform %d tenant %s: no invariant audits ran", pi, tn.Name)
+				}
+				// Start/Finish live on the global clock, which never
+				// idles; Arrival lives on the tenant's private merge
+				// timeline — the two are not comparable.
+				if tn.Finish < tn.Start || tn.Busy < 0 || tn.Wait < -1e-12 {
+					t.Fatalf("platform %d tenant %s: incoherent timing start=%g finish=%g busy=%g wait=%g",
+						pi, tn.Name, tn.Start, tn.Finish, tn.Busy, tn.Wait)
+				}
+				if tn.FastShare < 0 || tn.FastShare > 1 {
+					t.Fatalf("platform %d tenant %s: fast share %g", pi, tn.Name, tn.FastShare)
+				}
+				shares += tn.FastShare
+				if tn.Finish > pr.Makespan {
+					t.Fatalf("platform %d tenant %s: finish %g past makespan %g", pi, tn.Name, tn.Finish, pr.Makespan)
+				}
+			}
+			if shares > 0 && math.Abs(shares-1) > 1e-9 {
+				t.Fatalf("platform %d: fast shares sum to %g", pi, shares)
+			}
+		}
+		if ran != placed {
+			t.Fatalf("%d jobs placed but %d ran", placed, ran)
+		}
+	})
+}

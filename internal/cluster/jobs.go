@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cachedarrays/internal/models"
+)
+
+// MixModes are the operating modes the seeded job-mix generator draws
+// from: every canonical mode that runs on a shared platform (all of them —
+// tracing and fault injection are per-run config, not modes).
+var MixModes = []string{
+	"CA:LMP", "CA:LM", "CA:L", "CA:0", "CA:TG", "CA:OG",
+	"2LM:M", "2LM:0", "OS:page", "AutoTM",
+}
+
+// Mix generates a deterministic, seeded synthetic job mix: n MLP training
+// jobs with varied shapes, modes and arrival times. Identical seeds
+// produce identical mixes — the determinism suite and the cacluster
+// command both key their scenarios on the seed.
+func Mix(seed int64, n int) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, n)
+	for i := range jobs {
+		in := 256 << rng.Intn(3)     // 256 / 512 / 1024 features
+		hidden := 512 << rng.Intn(3) // 512 / 1024 / 2048 wide
+		layers := 1 + rng.Intn(3)    // 1-3 hidden layers
+		batch := 16 << rng.Intn(3)   // 16 / 32 / 64
+		mode := MixModes[rng.Intn(len(MixModes))]
+		arrival := rng.Float64() * 0.02
+		hs := make([]int, layers)
+		for l := range hs {
+			hs[l] = hidden
+		}
+		jobs[i] = Job{
+			Name:    fmt.Sprintf("mix%d-%s", i, mode),
+			Build:   func() (*models.Model, error) { return models.MLP(in, hs, 10, batch), nil },
+			Mode:    mode,
+			Arrival: arrival,
+		}
+	}
+	return jobs
+}

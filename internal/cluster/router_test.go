@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/units"
+)
+
+func twoPlatforms() []engine.Config {
+	return []engine.Config{
+		{FastCapacity: 64 * units.MB, SlowCapacity: units.GB, Iterations: 2},
+		{FastCapacity: 32 * units.MB, SlowCapacity: units.GB, Iterations: 2},
+	}
+}
+
+func smallJob(name, mode string) Job {
+	return Job{Name: name, Model: models.MLP(512, []int{1024}, 10, 64), Mode: mode}
+}
+
+// TestRouteRoundRobin: jobs deal out in arrival order.
+func TestRouteRoundRobin(t *testing.T) {
+	res, err := Route(RouterConfig{
+		Platforms: twoPlatforms(),
+		Jobs:      []Job{smallJob("a", "CA:LMP"), smallJob("b", "CA:LM"), smallJob("c", "2LM:M")},
+		Policy:    RoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 0}; !reflect.DeepEqual(res.Placement, want) {
+		t.Fatalf("placement %v, want %v", res.Placement, want)
+	}
+	if len(res.Platforms[0].Tenants) != 2 || len(res.Platforms[1].Tenants) != 1 {
+		t.Fatalf("tenant split %d/%d, want 2/1",
+			len(res.Platforms[0].Tenants), len(res.Platforms[1].Tenants))
+	}
+}
+
+// TestRouteLeastLoaded: a heavy job tips the balance — later jobs land on
+// the other platform until loads even out.
+func TestRouteLeastLoaded(t *testing.T) {
+	heavy := Job{Name: "heavy", Model: models.MLP(1024, []int{4096, 4096, 4096}, 10, 256), Mode: "CA:LMP"}
+	res, err := Route(RouterConfig{
+		Platforms: twoPlatforms(),
+		Jobs:      []Job{heavy, smallJob("s1", "CA:LM"), smallJob("s2", "CA:LM")},
+		Policy:    LeastLoaded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement[0] != 0 {
+		t.Errorf("heavy job placed on %d, want 0 (first, ties to lowest index)", res.Placement[0])
+	}
+	if res.Placement[1] != 1 || res.Placement[2] != 1 {
+		t.Errorf("small jobs placed on %d,%d — both should dodge the heavy platform",
+			res.Placement[1], res.Placement[2])
+	}
+}
+
+// TestRouteHeadroom: the fast-tier-headroom policy prefers the platform
+// with the bigger remaining fast tier, not the one with fewer FLOPs.
+func TestRouteHeadroom(t *testing.T) {
+	res, err := Route(RouterConfig{
+		Platforms: twoPlatforms(), // 64 MB vs 32 MB fast
+		Jobs:      []Job{smallJob("a", "CA:LMP"), smallJob("b", "CA:LMP")},
+		Policy:    Headroom,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both jobs fit in the 64 MB platform's headroom; the 32 MB platform
+	// never has more remaining fast tier.
+	if res.Placement[0] != 0 || res.Placement[1] != 0 {
+		t.Errorf("placement %v, want both on the 64 MB platform", res.Placement)
+	}
+}
+
+// TestRouteRejectOnPressure: a job whose footprint exceeds the platform's
+// combined capacity is rejected rather than placed into certain failure;
+// reasonable jobs still land.
+func TestRouteRejectOnPressure(t *testing.T) {
+	res, err := Route(RouterConfig{
+		Platforms: []engine.Config{
+			{FastCapacity: 32 * units.MB, SlowCapacity: 64 * units.MB, Iterations: 1},
+		},
+		Jobs: []Job{
+			smallJob("ok", "CA:LMP"),
+			{Name: "huge", Model: models.MLP(1024, []int{8192, 8192}, 10, 512), Mode: "CA:LMP"},
+		},
+		Policy: RejectOnPressure,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement[0] != 0 {
+		t.Errorf("fitting job rejected (placement %v)", res.Placement)
+	}
+	if res.Placement[1] != -1 {
+		t.Errorf("oversized job admitted to platform %d", res.Placement[1])
+	}
+	if want := []int{1}; !reflect.DeepEqual(res.Rejected, want) {
+		t.Errorf("rejected %v, want %v", res.Rejected, want)
+	}
+	if res.Platforms[0] == nil || len(res.Platforms[0].Tenants) != 1 {
+		t.Error("admitted job did not run")
+	}
+}
+
+// TestRouteArrivalOrder: placement follows arrival order, not slice
+// order — an earlier arrival grabs the emptier platform first.
+func TestRouteArrivalOrder(t *testing.T) {
+	late := smallJob("late", "CA:LMP")
+	late.Arrival = 0.5
+	early := smallJob("early", "CA:LMP")
+	res, err := Route(RouterConfig{
+		Platforms: twoPlatforms(),
+		Jobs:      []Job{late, early},
+		Policy:    RoundRobin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// early (slice index 1) arrives first, so it takes platform 0.
+	if res.Placement[1] != 0 || res.Placement[0] != 1 {
+		t.Errorf("placement %v, want early→0 late→1", res.Placement)
+	}
+}
+
+// TestRouteWorkerCountInvariance: the M platform simulations are
+// independent and results are indexed by platform, so any worker count —
+// serial, GOMAXPROCS, more workers than platforms — yields a
+// byte-identical RouterResult.
+func TestRouteWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) *RouterResult {
+		t.Helper()
+		res, err := Route(RouterConfig{
+			Platforms: []engine.Config{
+				{FastCapacity: 48 * units.MB, SlowCapacity: units.GB, Iterations: 2},
+				{FastCapacity: 32 * units.MB, SlowCapacity: units.GB, Iterations: 2},
+				{FastCapacity: 24 * units.MB, SlowCapacity: units.GB, Iterations: 2},
+			},
+			Jobs:    Mix(11, 6),
+			Policy:  LeastLoaded,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	oversub := run(64)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("workers=GOMAXPROCS result differs from serial")
+	}
+	if !reflect.DeepEqual(serial, oversub) {
+		t.Fatal("workers=64 result differs from serial")
+	}
+}
+
+// TestRouteErrors covers router validation.
+func TestRouteErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  RouterConfig
+	}{
+		{"no platforms", RouterConfig{Jobs: []Job{smallJob("a", "CA:LMP")}}},
+		{"no jobs", RouterConfig{Platforms: twoPlatforms()}},
+		{"bad policy", RouterConfig{
+			Platforms: twoPlatforms(),
+			Jobs:      []Job{smallJob("a", "CA:LMP")},
+			Policy:    "coin-flip",
+		}},
+		{"no model", RouterConfig{
+			Platforms: twoPlatforms(),
+			Jobs:      []Job{{Name: "empty", Mode: "CA:LMP"}},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Route(c.cfg); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

@@ -35,13 +35,22 @@ var AdaptiveModes = []string{AdaptiveOG, AdaptiveTG, AdaptiveOGTG}
 // run with a private registry is exactly as deterministic — and as
 // cacheable — as a static one.
 func RunCAAdaptive(model *models.Model, variant string, cfg Config) (*Result, error) {
+	st, err := newAdaptiveStepper(model, variant, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Drive(st)
+}
+
+// newAdaptiveStepper builds the event-driven form of RunCAAdaptive.
+func newAdaptiveStepper(model *models.Model, variant string, cfg Config, env *Env) (*caStepper, error) {
 	cfg = cfg.withDefaults()
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.New(0)
 	}
-	p, release := acquirePlatform(cfg)
-	m, err := newManager(p, cfg)
+	p, release := env.acquire(cfg)
+	m, err := newManager(p, cfg, env)
 	if err != nil {
 		return nil, err
 	}
@@ -64,5 +73,5 @@ func RunCAAdaptive(model *models.Model, variant string, cfg Config) (*Result, er
 	default:
 		return nil, fmt.Errorf("engine: unknown adaptive variant %q", variant)
 	}
-	return runCA(model, pol, gc, p, m, cfg, reg, release)
+	return newCAStepper(model, pol, gc, p, m, cfg, reg, release, env)
 }

@@ -36,9 +36,18 @@ func resolveCapacity(c, def int64) int64 {
 // RunCA executes a training run under the CachedArrays runtime in the
 // given operating mode.
 func RunCA(model *models.Model, mode policy.Mode, cfg Config) (*Result, error) {
+	st, err := newCAModeStepper(model, mode, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Drive(st)
+}
+
+// newCAModeStepper builds the event-driven form of RunCA.
+func newCAModeStepper(model *models.Model, mode policy.Mode, cfg Config, env *Env) (*caStepper, error) {
 	cfg = cfg.withDefaults()
-	p, release := acquirePlatform(cfg)
-	m, err := newManager(p, cfg)
+	p, release := env.acquire(cfg)
+	m, err := newManager(p, cfg, env)
 	if err != nil {
 		return nil, err
 	}
@@ -46,11 +55,13 @@ func RunCA(model *models.Model, mode policy.Mode, cfg Config) (*Result, error) {
 	pcfg := policy.ConfigFor(mode)
 	pcfg.PreferCleanVictims = cfg.PreferCleanVictims
 	pol := policy.NewTieredConfig(m, pcfg, mode.String(), gc)
-	return runCA(model, pol, gc, p, m, cfg, cfg.Metrics, release)
+	return newCAStepper(model, pol, gc, p, m, cfg, cfg.Metrics, release, env)
 }
 
-// newManager builds the data manager with the configured heap allocator.
-func newManager(p *memsim.Platform, cfg Config) (*dm.Manager, error) {
+// newManager builds the data manager with the configured heap allocator,
+// wrapped with the environment's shared capacity budgets when tenants
+// share the platform.
+func newManager(p *memsim.Platform, cfg Config, env *Env) (*dm.Manager, error) {
 	mk := func(capacity int64) (alloc.Allocator, error) {
 		switch cfg.Allocator {
 		case "", "firstfit":
@@ -81,327 +92,432 @@ func newManager(p *memsim.Platform, cfg Config) (*dm.Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return dm.NewWithAllocators(p, fast, slow), nil
+	return dm.NewWithAllocators(p, env.limitFast(fast), env.limitSlow(slow)), nil
 }
 
 // RunCAConfig is RunCA with explicit policy switches (ablations).
 func RunCAConfig(model *models.Model, pcfg policy.Config, name string, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	p, release := acquirePlatform(cfg)
-	m, err := newManager(p, cfg)
+	m, err := newManager(p, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
 	gc := gcsim.New(m, p.Clock)
 	pol := policy.NewTieredConfig(m, pcfg, name, gc)
-	return runCA(model, pol, gc, p, m, cfg, cfg.Metrics, release)
+	st, err := newCAStepper(model, pol, gc, p, m, cfg, cfg.Metrics, release, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Drive(st)
 }
 
-// runCA executes the run; release returns the platform to the pool and is
-// called only on the success path (error paths abandon the platform in
-// whatever state the failure left it). pol is any policy runtime — the
-// plain Tiered for the paper modes, a wrapped adaptive stack for the
-// CA:OG/CA:TG variants. reg is the registry the run's series register
-// into; it is usually cfg.Metrics, but adaptive runs pass a private
-// registry when the caller did not ask for one (the guidance policy
-// steers by live series, and sampling never perturbs the simulation, so
-// those runs stay cacheable).
-func runCA(model *models.Model, pol policy.Runtime, gc *gcsim.Collector,
-	p *memsim.Platform, m *dm.Manager, cfg Config, reg *metrics.Registry, release func()) (*Result, error) {
+// caStepper is the event-driven CachedArrays run: construction performs
+// setup (instrumentation wiring, persistent-tensor allocation), every
+// Step executes one kernel event or one iteration boundary, and Finish
+// produces the Result. Driven to completion it is byte-identical to the
+// historical straight-line loop; dispatched by the cluster simulator its
+// events interleave with other tenants' on the shared platform.
+//
+// pol is any policy runtime — the plain Tiered for the paper modes, a
+// wrapped adaptive stack for the CA:OG/CA:TG variants. reg is the
+// registry the run's series register into; it is usually cfg.Metrics,
+// but adaptive runs pass a private registry when the caller did not ask
+// for one (the guidance policy steers by live series, and sampling never
+// perturbs the simulation, so those runs stay cacheable). release
+// returns the platform to the pool and runs only on the success path
+// (error paths abandon the platform in whatever state the failure left
+// it).
+type caStepper struct {
+	model   *models.Model
+	pol     policy.Runtime
+	gc      *gcsim.Collector
+	p       *memsim.Platform
+	m       *dm.Manager
+	cfg     Config
+	reg     *metrics.Registry
+	release func()
+
+	sched  *trace.Schedule
+	res    *Result
+	events *dm.EventLog
+	tr     *tracing.Recorder
+	inj    *faults.Injector
+	chk    *invariants.Checker
+	rm     runMetrics
+	objs   []*dm.Object
+
+	// Iteration-loop state.
+	iter               int
+	ki                 int
+	inIter             bool
+	it                 IterationMetrics
+	iterStart          float64
+	fastBase, slowBase memsim.Counters
+	gcBase             float64
+	sampling           bool
+	// readyAt tracks, per tensor, when its in-flight asynchronous move
+	// completes; kernels wait on their arguments' entries.
+	readyAt map[int]float64
+
+	done     bool
+	finished bool
+}
+
+// newCAStepper performs the run's setup: instrumentation threading and
+// the persistent-tensor allocations (the paper pre-allocates and
+// first-touches all heaps before measuring, so setup traffic is excluded
+// from iteration metrics).
+func newCAStepper(model *models.Model, pol policy.Runtime, gc *gcsim.Collector,
+	p *memsim.Platform, m *dm.Manager, cfg Config, reg *metrics.Registry,
+	release func(), env *Env) (*caStepper, error) {
 
 	sched := trace.New(model)
 	if err := sched.Validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{ModelName: model.Name, Mode: pol.Name(), Config: cfg}
-	res.recordPeaks(p)
-	var events *dm.EventLog
+	s := &caStepper{
+		model: model, pol: pol, gc: gc, p: p, m: m, cfg: cfg, reg: reg,
+		release: release, sched: sched,
+		res: &Result{ModelName: model.Name, Mode: pol.Name(), Config: cfg},
+	}
+	s.res.recordPeaks(p)
 	if cfg.TraceEvents > 0 {
-		events = dm.NewEventLog(cfg.TraceEvents)
-		m.SetEventLog(events)
+		s.events = dm.NewEventLog(cfg.TraceEvents)
+		m.SetEventLog(s.events)
 	}
 	// The execution-trace recorder threads through every layer; nil (the
 	// default) records nothing and costs the instrumented paths a single
 	// branch each.
-	var tr *tracing.Recorder
 	if cfg.Trace {
-		tr = tracing.New(p.Clock.Now)
-		p.Clock.Tracer = tr
-		p.Copier.Tracer = tr
-		m.SetTracer(tr)
-		pol.SetTracer(tr)
-		gc.SetTracer(tr)
+		s.tr = tracing.New(p.Clock.Now)
+		p.Clock.Tracer = s.tr
+		p.Copier.Tracer = s.tr
+		m.SetTracer(s.tr)
+		pol.SetTracer(s.tr)
+		gc.SetTracer(s.tr)
 	}
 	// The fault injector threads through the same layers as the tracer and
 	// follows the same discipline: absent a schedule, every hook stays nil
 	// and the run is byte-identical to an uninstrumented build.
-	var inj *faults.Injector
 	if cfg.FaultSpec != "" {
 		fsched, err := faults.Parse(cfg.FaultSpec)
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
-		inj = faults.New(fsched, p.Clock.Now)
-		inj.SetTracer(tr)
-		p.Fast.Faults = inj
-		p.Slow.Faults = inj
-		p.Copier.Faults = inj
-		m.SetFaults(inj)
+		s.inj = faults.New(fsched, p.Clock.Now)
+		s.inj.SetTracer(s.tr)
+		p.Fast.Faults = s.inj
+		p.Slow.Faults = s.inj
+		p.Copier.Faults = s.inj
+		m.SetFaults(s.inj)
 	}
-	var chk *invariants.Checker
 	if cfg.CheckEveryAdvance {
-		chk = invariants.New(m, p).WithPolicy(pol)
-		chk.Attach()
+		s.chk = invariants.New(m, p).WithPolicy(pol)
+		env.attachChecker(s.chk)
 	}
 	// The metrics registry threads through the same layers with the same
 	// nil-safety discipline: every layer registers its series, the clock
-	// drives sampling, and a nil registry records nothing.
-	wirePlatformMetrics(reg, p)
+	// (or the cluster's fan-out hook) drives sampling, and a nil registry
+	// records nothing.
+	registerPlatformMetrics(reg, p)
+	env.attachRegistry(reg, p)
 	m.RegisterMetrics(reg)
 	pol.RegisterMetrics(reg)
 	gc.RegisterMetrics(reg)
-	rm := newRunMetrics(reg)
-	objs := make([]*dm.Object, len(model.Tensors))
+	s.rm = newRunMetrics(reg)
+	s.objs = make([]*dm.Object, len(model.Tensors))
 
-	// Persistent tensors (weights, gradients, input batch) are allocated
-	// once; the paper pre-allocates and first-touches all heaps before
-	// measuring, so setup traffic is excluded from iteration metrics.
 	for _, id := range sched.Persistent {
 		o, err := pol.NewObject(model.Tensors[id].Bytes)
 		if err != nil {
 			return nil, fmt.Errorf("engine: allocating persistent tensor %s: %w",
 				model.Tensors[id].Name, err)
 		}
-		objs[id] = o
-		tr.Bind(o.ID(), model.Tensors[id].Name, model.Tensors[id].Bytes)
+		s.objs[id] = o
+		s.tr.Bind(o.ID(), model.Tensors[id].Name, model.Tensors[id].Bytes)
+	}
+	if cfg.Iterations <= 0 {
+		s.done = true
+	}
+	return s, nil
+}
+
+// Done reports whether every iteration has completed.
+func (s *caStepper) Done() bool { return s.done }
+
+// Step executes the next event: one kernel (with its hints, transient
+// allocations and post-kernel annotations) or one iteration boundary.
+func (s *caStepper) Step() (float64, error) {
+	if s.done {
+		return s.p.Clock.Now(), fmt.Errorf("engine: step after run completed")
+	}
+	if !s.inIter {
+		s.beginIter()
+		s.inIter = true
+	}
+	if s.ki < len(s.model.Kernels) {
+		if err := s.kernelStep(); err != nil {
+			return s.p.Clock.Now(), err
+		}
+		s.ki++
+		return s.p.Clock.Now(), nil
+	}
+	if err := s.endIter(); err != nil {
+		return s.p.Clock.Now(), err
+	}
+	s.iter++
+	s.ki = 0
+	s.inIter = false
+	if s.iter >= s.cfg.Iterations {
+		s.done = true
+	}
+	return s.p.Clock.Now(), nil
+}
+
+// beginIter opens an iteration's measurement window.
+func (s *caStepper) beginIter() {
+	s.tr.BeginIter(s.iter)
+	s.iterStart = s.p.Clock.Now()
+	s.fastBase, s.slowBase = s.p.Fast.Counters(), s.p.Slow.Counters()
+	s.gcBase = s.gc.Stats().PauseTime
+	s.it = IterationMetrics{}
+	s.sampling = s.cfg.SampleHeap && s.iter == s.cfg.Iterations-1
+	if s.sampling {
+		s.res.HeapSamples = s.res.HeapSamples[:0]
+	}
+	s.readyAt = nil
+	if s.cfg.AsyncMovement {
+		s.readyAt = make(map[int]float64, 64)
+	}
+}
+
+// kernelStep executes kernel s.ki: transient allocations, semantic hints
+// (the policy may move data in response), the roofline kernel time with
+// its arguments pinned, and the post-kernel archive/retire annotations.
+func (s *caStepper) kernelStep() error {
+	p, m, pol, model, iter, ki := s.p, s.m, s.pol, s.model, s.iter, s.ki
+	k := &model.Kernels[ki]
+	s.tr.BeginKernel(ki, k.Name)
+	hintStart := p.Clock.Now()
+
+	// Allocate transients whose first use is this kernel.
+	for _, id := range s.sched.AllocBefore[ki] {
+		o, err := pol.NewObject(model.Tensors[id].Bytes)
+		if err != nil {
+			return fmt.Errorf("engine: iter %d kernel %s: allocating %s: %w",
+				iter, k.Name, model.Tensors[id].Name, err)
+		}
+		s.objs[id] = o
+		s.tr.Bind(o.ID(), model.Tensors[id].Name, model.Tensors[id].Bytes)
+	}
+	// Emit the semantic hints; the policy may move data in
+	// response. With synchronous movement the application
+	// stalls here; with an asynchronous mover the copies
+	// queue and only the data dependency is recorded.
+	hint := func(id int, write bool) {
+		o := s.objs[id]
+		if o == nil || o.Retired() {
+			return
+		}
+		before := p.Copier.BusyUntil()
+		if write {
+			pol.WillWrite(o)
+		} else {
+			pol.WillRead(o)
+		}
+		// Record the dependency only when this hint
+		// actually queued movement for this object;
+		// unrelated background writebacks do not block
+		// the kernel.
+		if after := p.Copier.BusyUntil(); s.readyAt != nil && after > before {
+			s.readyAt[id] = after
+		}
+	}
+	for _, id := range k.Reads {
+		hint(id, false)
+	}
+	for _, id := range k.Writes {
+		hint(id, true)
+	}
+	// Lookahead: announce a future kernel's reads now, so an
+	// asynchronous mover can stage them behind this kernel's
+	// execution ("will read in the NEAR future", Table II).
+	if la := s.cfg.HintLookahead; la > 0 && ki+la < len(model.Kernels) {
+		for _, id := range model.Kernels[ki+la].Reads {
+			hint(id, false)
+		}
+	}
+	// The stall events carry the exact floats MoveTime
+	// accumulates, in the same order, so tracing.Verify can
+	// demand bit-exact equality per iteration; zero deltas
+	// are skipped (x + 0 == x).
+	hintStall := p.Clock.Now() - hintStart
+	s.it.MoveTime += hintStall
+	s.rm.stall(hintStall)
+	if hintStall != 0 {
+		s.tr.Stall("hint", 0, hintStall)
+	}
+	// Wait for this kernel's arguments to finish moving.
+	if s.readyAt != nil {
+		var need float64
+		blocking := -1
+		for _, id := range append(append([]int{}, k.Reads...), k.Writes...) {
+			if t, ok := s.readyAt[id]; ok && t > need {
+				need = t
+				blocking = id
+			}
+		}
+		if wait := need - p.Clock.Now(); wait > 0 {
+			p.Clock.Advance(wait)
+			s.it.MoveTime += wait
+			s.rm.stall(wait)
+			if s.tr.Enabled() {
+				var obj uint64
+				if blocking >= 0 && s.objs[blocking] != nil {
+					obj = s.objs[blocking].ID()
+				}
+				s.tr.Stall("wait", obj, wait)
+			}
+		}
 	}
 
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		tr.BeginIter(iter)
-		iterStart := p.Clock.Now()
-		fastBase, slowBase := p.Fast.Counters(), p.Slow.Counters()
-		gcBase := gc.Stats().PauseTime
-		var it IterationMetrics
-		sampling := cfg.SampleHeap && iter == cfg.Iterations-1
-		if sampling {
-			res.HeapSamples = res.HeapSamples[:0]
+	// Execute the kernel: primaries are pinned for its
+	// duration (§III-C) and the roofline time is charged.
+	var readBytes, writeBytes [2]int64
+	rf := k.EffectiveReadFactor()
+	for _, id := range k.Reads {
+		o := s.objs[id]
+		pol.Pin(o)
+		// Kernel-internal re-reads of the data input
+		// stream from wherever the primary lives — there
+		// is no hardware cache to absorb them (unlike
+		// 2LM). Gradients and weights stream once.
+		f := 1.0
+		if amplified(model.Tensors[id].Kind) {
+			f = rf
 		}
-
-		// readyAt tracks, per tensor, when its in-flight asynchronous
-		// move completes; kernels wait on their arguments' entries.
-		var readyAt map[int]float64
-		if cfg.AsyncMovement {
-			readyAt = make(map[int]float64, 64)
-		}
-		for ki := range model.Kernels {
-			k := &model.Kernels[ki]
-			tr.BeginKernel(ki, k.Name)
-			hintStart := p.Clock.Now()
-
-			// Allocate transients whose first use is this kernel.
-			for _, id := range sched.AllocBefore[ki] {
-				o, err := pol.NewObject(model.Tensors[id].Bytes)
-				if err != nil {
-					return nil, fmt.Errorf("engine: iter %d kernel %s: allocating %s: %w",
-						iter, k.Name, model.Tensors[id].Name, err)
-				}
-				objs[id] = o
-				tr.Bind(o.ID(), model.Tensors[id].Name, model.Tensors[id].Bytes)
-			}
-			// Emit the semantic hints; the policy may move data in
-			// response. With synchronous movement the application
-			// stalls here; with an asynchronous mover the copies
-			// queue and only the data dependency is recorded.
-			hint := func(id int, write bool) {
-				o := objs[id]
-				if o == nil || o.Retired() {
-					return
-				}
-				before := p.Copier.BusyUntil()
-				if write {
-					pol.WillWrite(o)
-				} else {
-					pol.WillRead(o)
-				}
-				// Record the dependency only when this hint
-				// actually queued movement for this object;
-				// unrelated background writebacks do not block
-				// the kernel.
-				if after := p.Copier.BusyUntil(); readyAt != nil && after > before {
-					readyAt[id] = after
-				}
-			}
-			for _, id := range k.Reads {
-				hint(id, false)
-			}
-			for _, id := range k.Writes {
-				hint(id, true)
-			}
-			// Lookahead: announce a future kernel's reads now, so an
-			// asynchronous mover can stage them behind this kernel's
-			// execution ("will read in the NEAR future", Table II).
-			if la := cfg.HintLookahead; la > 0 && ki+la < len(model.Kernels) {
-				for _, id := range model.Kernels[ki+la].Reads {
-					hint(id, false)
-				}
-			}
-			// The stall events carry the exact floats MoveTime
-			// accumulates, in the same order, so tracing.Verify can
-			// demand bit-exact equality per iteration; zero deltas
-			// are skipped (x + 0 == x).
-			hintStall := p.Clock.Now() - hintStart
-			it.MoveTime += hintStall
-			rm.stall(hintStall)
-			if hintStall != 0 {
-				tr.Stall("hint", 0, hintStall)
-			}
-			// Wait for this kernel's arguments to finish moving.
-			if readyAt != nil {
-				var need float64
-				blocking := -1
-				for _, id := range append(append([]int{}, k.Reads...), k.Writes...) {
-					if t, ok := readyAt[id]; ok && t > need {
-						need = t
-						blocking = id
-					}
-				}
-				if wait := need - p.Clock.Now(); wait > 0 {
-					p.Clock.Advance(wait)
-					it.MoveTime += wait
-					rm.stall(wait)
-					if tr.Enabled() {
-						var obj uint64
-						if blocking >= 0 && objs[blocking] != nil {
-							obj = objs[blocking].ID()
-						}
-						tr.Stall("wait", obj, wait)
-					}
-				}
-			}
-
-			// Execute the kernel: primaries are pinned for its
-			// duration (§III-C) and the roofline time is charged.
-			var readBytes, writeBytes [2]int64
-			rf := k.EffectiveReadFactor()
-			for _, id := range k.Reads {
-				o := objs[id]
-				pol.Pin(o)
-				// Kernel-internal re-reads of the data input
-				// stream from wherever the primary lives — there
-				// is no hardware cache to absorb them (unlike
-				// 2LM). Gradients and weights stream once.
-				f := 1.0
-				if amplified(model.Tensors[id].Kind) {
-					f = rf
-				}
-				readBytes[m.GetPrimary(o).Class()] += int64(float64(o.Size()) * f)
-			}
-			for _, id := range k.Writes {
-				o := objs[id]
-				pol.Pin(o)
-				writeBytes[m.GetPrimary(o).Class()] += o.Size()
-			}
-			kt := kernelTime(p, k.FLOPs, readBytes, writeBytes)
-			p.Clock.Advance(kt)
-			it.ComputeTime += kt
-			rm.kernel(kt)
-			if tr.Enabled() {
-				now := p.Clock.Now()
-				tr.Kernel(now-kt, now,
-					k.FLOPs/p.Compute.PeakFlops+p.Compute.LaunchOverhead)
-				tr.KernelIO(p.Fast.Name, readBytes[0], writeBytes[0])
-				tr.KernelIO(p.Slow.Name, readBytes[1], writeBytes[1])
-			}
-			for _, id := range k.Reads {
-				pol.Unpin(objs[id])
-			}
-			for _, id := range k.Writes {
-				pol.Unpin(objs[id])
-			}
-
-			// Post-kernel annotations.
-			if !cfg.NoArchiveHints {
-				for _, id := range sched.ArchiveAfter[ki] {
-					pol.Archive(objs[id])
-				}
-			}
-			for _, id := range sched.RetireAfter[ki] {
-				pol.Retire(objs[id])
-				objs[id] = nil
-			}
-
-			used := m.UsedBytes(dm.Fast) + m.UsedBytes(dm.Slow)
-			if used > res.PeakHeap {
-				res.PeakHeap = used
-			}
-			if sampling {
-				res.HeapSamples = append(res.HeapSamples,
-					HeapSample{Time: p.Clock.Now() - iterStart, Used: used})
-			}
-			tr.EndKernel()
-		}
-
-		// End of iteration: drain any in-flight asynchronous moves,
-		// then the paper's procedure — invoke the GC to clean up all
-		// temporary memory and defragment the heaps (§IV-A). The GC
-		// pause is measured; defragmentation happens between the
-		// measurement windows.
-		if cfg.AsyncMovement {
-			if wait := p.Copier.BusyUntil() - p.Clock.Now(); wait > 0 {
-				p.Clock.Advance(wait)
-				it.MoveTime += wait
-				rm.stall(wait)
-				tr.Stall("drain", 0, wait)
-			}
-		}
-		gc.Collect()
-		it.GCTime = gc.Stats().PauseTime - gcBase
-		it.Time = p.Clock.Now() - iterStart
-		rm.iter(it.Time)
-		it.Fast = p.Fast.Counters().Sub(fastBase)
-		it.Slow = p.Slow.Counters().Sub(slowBase)
-		res.Iterations = append(res.Iterations, it)
-		tr.Iter(iter, iterStart, p.Clock.Now())
-
-		if cfg.CheckInvariants {
-			if err := pol.CheckInvariants(); err != nil {
-				return nil, fmt.Errorf("engine: after iter %d: %w", iter, err)
-			}
-			if live := transientLive(objs, sched); live != 0 {
-				return nil, fmt.Errorf("engine: %d transient objects leaked after iter %d", live, iter)
-			}
-		}
-		if chk != nil {
-			if err := chk.Err(); err != nil {
-				return nil, fmt.Errorf("engine: during iter %d: %w", iter, err)
-			}
-			// The iteration boundary is a quiesce point: every region
-			// must be bound and the policy accounting exact.
-			if err := chk.CheckQuiesced(); err != nil {
-				return nil, fmt.Errorf("engine: after iter %d: %w", iter, err)
-			}
-		}
-		m.Defrag(dm.Fast)
-		m.Defrag(dm.Slow)
+		readBytes[m.GetPrimary(o).Class()] += int64(float64(o.Size()) * f)
+	}
+	for _, id := range k.Writes {
+		o := s.objs[id]
+		pol.Pin(o)
+		writeBytes[m.GetPrimary(o).Class()] += o.Size()
+	}
+	kt := kernelTime(p, k.FLOPs, readBytes, writeBytes)
+	p.Clock.Advance(kt)
+	s.it.ComputeTime += kt
+	s.rm.kernel(kt)
+	if s.tr.Enabled() {
+		now := p.Clock.Now()
+		s.tr.Kernel(now-kt, now,
+			k.FLOPs/p.Compute.PeakFlops+p.Compute.LaunchOverhead)
+		s.tr.KernelIO(p.Fast.Name, readBytes[0], writeBytes[0])
+		s.tr.KernelIO(p.Slow.Name, readBytes[1], writeBytes[1])
+	}
+	for _, id := range k.Reads {
+		pol.Unpin(s.objs[id])
+	}
+	for _, id := range k.Writes {
+		pol.Unpin(s.objs[id])
 	}
 
-	res.Policy = pol.Stats()
-	res.DM = m.Stats()
-	res.GC = gc.Stats()
-	res.Faults = inj.Stats()
-	if src, ok := pol.(policy.AdaptiveSource); ok {
+	// Post-kernel annotations.
+	if !s.cfg.NoArchiveHints {
+		for _, id := range s.sched.ArchiveAfter[ki] {
+			pol.Archive(s.objs[id])
+		}
+	}
+	for _, id := range s.sched.RetireAfter[ki] {
+		pol.Retire(s.objs[id])
+		s.objs[id] = nil
+	}
+
+	used := m.UsedBytes(dm.Fast) + m.UsedBytes(dm.Slow)
+	if used > s.res.PeakHeap {
+		s.res.PeakHeap = used
+	}
+	if s.sampling {
+		s.res.HeapSamples = append(s.res.HeapSamples,
+			HeapSample{Time: p.Clock.Now() - s.iterStart, Used: used})
+	}
+	s.tr.EndKernel()
+	return nil
+}
+
+// endIter closes the iteration: drain any in-flight asynchronous moves,
+// then the paper's procedure — invoke the GC to clean up all temporary
+// memory and defragment the heaps (§IV-A). The GC pause is measured;
+// defragmentation happens between the measurement windows.
+func (s *caStepper) endIter() error {
+	p, iter := s.p, s.iter
+	if s.cfg.AsyncMovement {
+		if wait := p.Copier.BusyUntil() - p.Clock.Now(); wait > 0 {
+			p.Clock.Advance(wait)
+			s.it.MoveTime += wait
+			s.rm.stall(wait)
+			s.tr.Stall("drain", 0, wait)
+		}
+	}
+	s.gc.Collect()
+	s.it.GCTime = s.gc.Stats().PauseTime - s.gcBase
+	s.it.Time = p.Clock.Now() - s.iterStart
+	s.rm.iter(s.it.Time)
+	s.it.Fast = p.Fast.Counters().Sub(s.fastBase)
+	s.it.Slow = p.Slow.Counters().Sub(s.slowBase)
+	s.res.Iterations = append(s.res.Iterations, s.it)
+	s.tr.Iter(iter, s.iterStart, p.Clock.Now())
+
+	if s.cfg.CheckInvariants {
+		if err := s.pol.CheckInvariants(); err != nil {
+			return fmt.Errorf("engine: after iter %d: %w", iter, err)
+		}
+		if live := transientLive(s.objs, s.sched); live != 0 {
+			return fmt.Errorf("engine: %d transient objects leaked after iter %d", live, iter)
+		}
+	}
+	if s.chk != nil {
+		if err := s.chk.Err(); err != nil {
+			return fmt.Errorf("engine: during iter %d: %w", iter, err)
+		}
+		// The iteration boundary is a quiesce point: every region
+		// must be bound and the policy accounting exact.
+		if err := s.chk.CheckQuiesced(); err != nil {
+			return fmt.Errorf("engine: after iter %d: %w", iter, err)
+		}
+	}
+	s.m.Defrag(dm.Fast)
+	s.m.Defrag(dm.Slow)
+	return nil
+}
+
+// Finish finalizes the run and returns the Result.
+func (s *caStepper) Finish() (*Result, error) {
+	if !s.done {
+		return nil, fmt.Errorf("engine: finish before run completed")
+	}
+	if s.finished {
+		return nil, fmt.Errorf("engine: double finish")
+	}
+	s.finished = true
+	p, res := s.p, s.res
+	res.Policy = s.pol.Stats()
+	res.DM = s.m.Stats()
+	res.GC = s.gc.Stats()
+	res.Faults = s.inj.Stats()
+	if src, ok := s.pol.(policy.AdaptiveSource); ok {
 		res.Adaptive = src.AdaptiveStats()
 	}
-	if chk != nil {
-		res.InvariantChecks = chk.Checks()
-		if err := chk.Err(); err != nil {
+	if s.chk != nil {
+		res.InvariantChecks = s.chk.Checks()
+		if err := s.chk.Err(); err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
-	if events != nil {
-		res.Events = events.Events()
+	if s.events != nil {
+		res.Events = s.events.Events()
 	}
-	if tr.Enabled() {
+	if s.tr.Enabled() {
 		// Embed the run's authoritative aggregates as the trailing
 		// event, making the trace self-contained: tracing.Verify
 		// re-derives each of these from the event stream and demands
@@ -411,7 +527,7 @@ func runCA(model *models.Model, pol policy.Runtime, gc *gcsim.Collector,
 			moveByIter[i] = res.Iterations[i].MoveTime
 		}
 		fc, sc := p.Fast.Counters(), p.Slow.Counters()
-		tr.EmitTotals(tracing.Totals{
+		s.tr.EmitTotals(tracing.Totals{
 			Copies:          res.DM.Copies,
 			BytesFastToSlow: res.DM.BytesFastToSlow,
 			BytesSlowToFast: res.DM.BytesSlowToFast,
@@ -425,12 +541,12 @@ func runCA(model *models.Model, pol policy.Runtime, gc *gcsim.Collector,
 			SlowReadBytes:   sc.ReadBytes,
 			SlowWriteBytes:  sc.WriteBytes,
 			MoveTimeByIter:  moveByIter,
-			Async:           cfg.AsyncMovement,
+			Async:           s.cfg.AsyncMovement,
 		})
-		res.Trace = tr.Events()
+		res.Trace = s.tr.Events()
 	}
-	finishMetrics(reg, model.Name, pol.Name(), p.Clock.Now())
-	release()
+	finishMetrics(s.reg, s.model.Name, s.pol.Name(), p.Clock.Now())
+	s.release()
 	res.aggregate()
 	return res, nil
 }

@@ -5,14 +5,14 @@ import (
 	"cachedarrays/internal/metrics"
 )
 
-// wirePlatformMetrics attaches a registry to the platform clock (which
-// drives sampling) and registers the device- and copy-engine-level series:
-// cumulative traffic and busy time per device, achieved bandwidth as a
-// fraction of the mixed peak (the Fig. 6 bus-utilization metric, sampled
-// over time instead of averaged per run), and the asynchronous mover's
-// queue depth and backlog. A nil registry only sets a nil clock hook.
-func wirePlatformMetrics(reg *metrics.Registry, p *memsim.Platform) {
-	p.Clock.Metrics = reg
+// registerPlatformMetrics registers the device- and copy-engine-level
+// series: cumulative traffic and busy time per device, achieved bandwidth
+// as a fraction of the mixed peak (the Fig. 6 bus-utilization metric,
+// sampled over time instead of averaged per run), and the asynchronous
+// mover's queue depth and backlog. A nil registry registers nothing.
+// Sampling is wired separately (Env.attachRegistry): the clock drives it
+// on a solo run, the cluster's fan-out hook on a shared platform.
+func registerPlatformMetrics(reg *metrics.Registry, p *memsim.Platform) {
 	if !reg.Enabled() {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cachedarrays/internal/alloc"
+	"cachedarrays/internal/memsim"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/trace"
 	"cachedarrays/internal/twolm"
@@ -23,8 +24,52 @@ import (
 // as the baseline"), so allocation-side effects are identical across
 // systems and only the data-movement mechanism differs.
 func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
+	st, err := new2LMStepper(model, memOpt, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Drive(st)
+}
+
+// twolmStepper is the event-driven form of the 2LM baseline run.
+type twolmStepper struct {
+	model   *models.Model
+	memOpt  bool
+	cfg     Config
+	p       *memsim.Platform
+	release func()
+	cache   *twolm.Cache
+	sched   *trace.Schedule
+	res     *Result
+	rm      runMetrics
+	mode    string
+	heap    alloc.Allocator
+	addrs   []int64
+	live    []bool
+
+	// Deferred-death list for the Ø mode (the GC the paper's Julia
+	// runtime provides). Pause constants mirror gcsim.
+	dead     []int
+	gcPauses float64
+
+	iter               int
+	ki                 int
+	inIter             bool
+	it                 IterationMetrics
+	iterStart          float64
+	fastBase, slowBase memsim.Counters
+	cacheBase          twolm.Stats
+	gcBase             float64
+	sampling           bool
+	done               bool
+	finished           bool
+}
+
+const twolmPauseBase, twolmPausePerObject = 1e-3, 2e-7
+
+func new2LMStepper(model *models.Model, memOpt bool, cfg Config, env *Env) (*twolmStepper, error) {
 	cfg = cfg.withDefaults()
-	p, release := acquirePlatform(cfg)
+	p, release := env.acquire(cfg)
 	cache, err := twolm.New(p.Fast, p.Slow, cfg.TwoLM)
 	if err != nil {
 		return nil, err
@@ -37,158 +82,208 @@ func Run2LM(model *models.Model, memOpt bool, cfg Config) (*Result, error) {
 	if memOpt {
 		mode = "2LM:M"
 	}
-	res := &Result{ModelName: model.Name, Mode: mode, Config: cfg}
-	res.recordPeaks(p)
+	s := &twolmStepper{
+		model: model, memOpt: memOpt, cfg: cfg, p: p, release: release,
+		cache: cache, sched: sched, mode: mode,
+		res: &Result{ModelName: model.Name, Mode: mode, Config: cfg},
+	}
+	s.res.recordPeaks(p)
 
-	heap := alloc.NewFreeList(p.Slow.Capacity, alloc.FirstFit)
-	wirePlatformMetrics(cfg.Metrics, p)
-	rm := newRunMetrics(cfg.Metrics)
+	// The flat heap spans the slow device's physical address space; under
+	// a shared platform the slow-tier budget arbitrates it with the other
+	// tenants' heaps.
+	s.heap = env.limitSlow(alloc.NewFreeList(p.Slow.Capacity, alloc.FirstFit))
+	registerPlatformMetrics(cfg.Metrics, p)
+	env.attachRegistry(cfg.Metrics, p)
+	s.rm = newRunMetrics(cfg.Metrics)
 	if cfg.Metrics.Enabled() {
-		cfg.Metrics.Gauge("twolm_heap_used_bytes", func() float64 { return float64(heap.Used()) })
+		cfg.Metrics.Gauge("twolm_heap_used_bytes", func() float64 { return float64(s.heap.Used()) })
 		cfg.Metrics.CounterFunc("twolm_cache_hits", func() float64 { return float64(cache.Stats().Hits) })
 		cfg.Metrics.CounterFunc("twolm_cache_clean_misses", func() float64 { return float64(cache.Stats().CleanMisses) })
 		cfg.Metrics.CounterFunc("twolm_cache_dirty_misses", func() float64 { return float64(cache.Stats().DirtyMisses) })
 	}
-	addrs := make([]int64, len(model.Tensors))
-	live := make([]bool, len(model.Tensors))
-
-	// Deferred-death list for the Ø mode (the GC the paper's Julia
-	// runtime provides). Pause constants mirror gcsim.
-	var dead []int
-	const pauseBase, pausePerObject = 1e-3, 2e-7
-	var gcPauses float64
-	collect := func() {
-		if len(dead) == 0 {
-			return
-		}
-		for _, id := range dead {
-			heap.Free(addrs[id])
-			live[id] = false
-		}
-		pause := pauseBase + float64(len(dead))*pausePerObject
-		p.Clock.Advance(pause)
-		gcPauses += pause
-		res.GC.Collections++
-		res.GC.ObjectsFreed += int64(len(dead))
-		dead = dead[:0]
-	}
-	allocate := func(id int) error {
-		a, err := heap.Alloc(model.Tensors[id].Bytes)
-		if err == alloc.ErrExhausted && len(dead) > 0 {
-			// Memory pressure: run the collector and retry — the
-			// mid-iteration GC visible in Fig. 3's 2LM:Ø curve.
-			collect()
-			a, err = heap.Alloc(model.Tensors[id].Bytes)
-		}
-		if err != nil {
-			return fmt.Errorf("engine: 2LM heap: allocating %s: %w", model.Tensors[id].Name, err)
-		}
-		addrs[id] = a
-		live[id] = true
-		return nil
-	}
+	s.addrs = make([]int64, len(model.Tensors))
+	s.live = make([]bool, len(model.Tensors))
 
 	for _, id := range sched.Persistent {
-		if err := allocate(id); err != nil {
+		if err := s.allocate(id); err != nil {
 			return nil, err
 		}
 	}
+	if cfg.Iterations <= 0 {
+		s.done = true
+	}
+	return s, nil
+}
 
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		iterStart := p.Clock.Now()
-		fastBase, slowBase := p.Fast.Counters(), p.Slow.Counters()
-		cacheBase := cache.Stats()
-		gcBase := gcPauses
-		var it IterationMetrics
-		sampling := cfg.SampleHeap && iter == cfg.Iterations-1
-		if sampling {
-			res.HeapSamples = res.HeapSamples[:0]
+// collect frees the deferred-death list and charges the GC pause.
+func (s *twolmStepper) collect() {
+	if len(s.dead) == 0 {
+		return
+	}
+	for _, id := range s.dead {
+		s.heap.Free(s.addrs[id])
+		s.live[id] = false
+	}
+	pause := twolmPauseBase + float64(len(s.dead))*twolmPausePerObject
+	s.p.Clock.Advance(pause)
+	s.gcPauses += pause
+	s.res.GC.Collections++
+	s.res.GC.ObjectsFreed += int64(len(s.dead))
+	s.dead = s.dead[:0]
+}
+
+func (s *twolmStepper) allocate(id int) error {
+	a, err := s.heap.Alloc(s.model.Tensors[id].Bytes)
+	if err == alloc.ErrExhausted && len(s.dead) > 0 {
+		// Memory pressure: run the collector and retry — the
+		// mid-iteration GC visible in Fig. 3's 2LM:Ø curve.
+		s.collect()
+		a, err = s.heap.Alloc(s.model.Tensors[id].Bytes)
+	}
+	if err != nil {
+		return fmt.Errorf("engine: 2LM heap: allocating %s: %w", s.model.Tensors[id].Name, err)
+	}
+	s.addrs[id] = a
+	s.live[id] = true
+	return nil
+}
+
+func (s *twolmStepper) Done() bool { return s.done }
+
+func (s *twolmStepper) Step() (float64, error) {
+	if s.done {
+		return s.p.Clock.Now(), fmt.Errorf("engine: step after run completed")
+	}
+	if !s.inIter {
+		s.iterStart = s.p.Clock.Now()
+		s.fastBase, s.slowBase = s.p.Fast.Counters(), s.p.Slow.Counters()
+		s.cacheBase = s.cache.Stats()
+		s.gcBase = s.gcPauses
+		s.it = IterationMetrics{}
+		s.sampling = s.cfg.SampleHeap && s.iter == s.cfg.Iterations-1
+		if s.sampling {
+			s.res.HeapSamples = s.res.HeapSamples[:0]
 		}
-
-		for ki := range model.Kernels {
-			k := &model.Kernels[ki]
-			for _, id := range sched.AllocBefore[ki] {
-				if err := allocate(id); err != nil {
-					return nil, err
-				}
-			}
-			// The hardware cache services every access; there are
-			// no hints and no explicit movement. Kernel-internal
-			// re-reads (ReadFactor) hit the DRAM cache after the
-			// first pass brings the lines in — the one advantage a
-			// transparent cache has over in-place NVRAM reads.
-			// App-side DRAM streaming overlaps with compute like
-			// any kernel traffic; demand-miss handling (fills,
-			// metadata, writebacks) stalls the kernel.
-			var cost twolm.Cost
-			rf := k.EffectiveReadFactor()
-			for _, id := range k.Reads {
-				cost.Add(cache.Access(addrs[id], model.Tensors[id].Bytes, false))
-				if !amplified(model.Tensors[id].Kind) {
-					continue
-				}
-				if rereads := int64(float64(model.Tensors[id].Bytes) * (rf - 1)); rereads > 0 {
-					cost.App += p.Fast.Read(rereads, kernelAccess)
-				}
-			}
-			for _, id := range k.Writes {
-				cost.Add(cache.Access(addrs[id], model.Tensors[id].Bytes, true))
-			}
-			kt := k.FLOPs/p.Compute.PeakFlops + p.Compute.LaunchOverhead
-			if cost.App > kt {
-				kt = cost.App
-			}
-			kt += cost.Stall()
-			p.Clock.Advance(kt)
-			it.ComputeTime += kt
-			rm.kernel(kt)
-
-			for _, id := range sched.RetireAfter[ki] {
-				if memOpt {
-					// 2LM:M — free eagerly; the physical pages
-					// are recycled while their lines are still
-					// cache-resident.
-					heap.Free(addrs[id])
-					live[id] = false
-				} else {
-					dead = append(dead, id)
-				}
-			}
-			if heap.Used() > res.PeakHeap {
-				res.PeakHeap = heap.Used()
-			}
-			if sampling {
-				res.HeapSamples = append(res.HeapSamples,
-					HeapSample{Time: p.Clock.Now() - iterStart, Used: heap.Used()})
-			}
+		s.inIter = true
+	}
+	if s.ki < len(s.model.Kernels) {
+		if err := s.kernelStep(); err != nil {
+			return s.p.Clock.Now(), err
 		}
+		s.ki++
+		return s.p.Clock.Now(), nil
+	}
+	if err := s.endIter(); err != nil {
+		return s.p.Clock.Now(), err
+	}
+	s.iter++
+	s.ki = 0
+	s.inIter = false
+	if s.iter >= s.cfg.Iterations {
+		s.done = true
+	}
+	return s.p.Clock.Now(), nil
+}
 
-		collect()
-		it.GCTime = gcPauses - gcBase
-		it.Time = p.Clock.Now() - iterStart
-		rm.iter(it.Time)
-		it.Fast = p.Fast.Counters().Sub(fastBase)
-		it.Slow = p.Slow.Counters().Sub(slowBase)
-		it.Cache = cache.Stats().Sub(cacheBase)
-		res.Iterations = append(res.Iterations, it)
+func (s *twolmStepper) kernelStep() error {
+	p, model, ki := s.p, s.model, s.ki
+	k := &model.Kernels[ki]
+	for _, id := range s.sched.AllocBefore[ki] {
+		if err := s.allocate(id); err != nil {
+			return err
+		}
+	}
+	// The hardware cache services every access; there are
+	// no hints and no explicit movement. Kernel-internal
+	// re-reads (ReadFactor) hit the DRAM cache after the
+	// first pass brings the lines in — the one advantage a
+	// transparent cache has over in-place NVRAM reads.
+	// App-side DRAM streaming overlaps with compute like
+	// any kernel traffic; demand-miss handling (fills,
+	// metadata, writebacks) stalls the kernel.
+	var cost twolm.Cost
+	rf := k.EffectiveReadFactor()
+	for _, id := range k.Reads {
+		cost.Add(s.cache.Access(s.addrs[id], model.Tensors[id].Bytes, false))
+		if !amplified(model.Tensors[id].Kind) {
+			continue
+		}
+		if rereads := int64(float64(model.Tensors[id].Bytes) * (rf - 1)); rereads > 0 {
+			cost.App += p.Fast.Read(rereads, kernelAccess)
+		}
+	}
+	for _, id := range k.Writes {
+		cost.Add(s.cache.Access(s.addrs[id], model.Tensors[id].Bytes, true))
+	}
+	kt := k.FLOPs/p.Compute.PeakFlops + p.Compute.LaunchOverhead
+	if cost.App > kt {
+		kt = cost.App
+	}
+	kt += cost.Stall()
+	p.Clock.Advance(kt)
+	s.it.ComputeTime += kt
+	s.rm.kernel(kt)
 
-		if cfg.CheckInvariants {
-			if err := heap.CheckInvariants(); err != nil {
-				return nil, fmt.Errorf("engine: 2LM heap after iter %d: %w", iter, err)
-			}
-			for id := range live {
-				if live[id] && !persistentTensor(sched, id) {
-					return nil, fmt.Errorf("engine: 2LM leaked tensor %s after iter %d",
-						model.Tensors[id].Name, iter)
-				}
+	for _, id := range s.sched.RetireAfter[ki] {
+		if s.memOpt {
+			// 2LM:M — free eagerly; the physical pages
+			// are recycled while their lines are still
+			// cache-resident.
+			s.heap.Free(s.addrs[id])
+			s.live[id] = false
+		} else {
+			s.dead = append(s.dead, id)
+		}
+	}
+	if s.heap.Used() > s.res.PeakHeap {
+		s.res.PeakHeap = s.heap.Used()
+	}
+	if s.sampling {
+		s.res.HeapSamples = append(s.res.HeapSamples,
+			HeapSample{Time: p.Clock.Now() - s.iterStart, Used: s.heap.Used()})
+	}
+	return nil
+}
+
+func (s *twolmStepper) endIter() error {
+	p, iter := s.p, s.iter
+	s.collect()
+	s.it.GCTime = s.gcPauses - s.gcBase
+	s.it.Time = p.Clock.Now() - s.iterStart
+	s.rm.iter(s.it.Time)
+	s.it.Fast = p.Fast.Counters().Sub(s.fastBase)
+	s.it.Slow = p.Slow.Counters().Sub(s.slowBase)
+	s.it.Cache = s.cache.Stats().Sub(s.cacheBase)
+	s.res.Iterations = append(s.res.Iterations, s.it)
+
+	if s.cfg.CheckInvariants {
+		if err := s.heap.CheckInvariants(); err != nil {
+			return fmt.Errorf("engine: 2LM heap after iter %d: %w", iter, err)
+		}
+		for id := range s.live {
+			if s.live[id] && !persistentTensor(s.sched, id) {
+				return fmt.Errorf("engine: 2LM leaked tensor %s after iter %d",
+					s.model.Tensors[id].Name, iter)
 			}
 		}
 	}
-	res.Cache = twolm.Stats{}
-	finishMetrics(cfg.Metrics, model.Name, mode, p.Clock.Now())
-	release()
-	res.aggregate()
-	return res, nil
+	return nil
+}
+
+func (s *twolmStepper) Finish() (*Result, error) {
+	if !s.done {
+		return nil, fmt.Errorf("engine: finish before run completed")
+	}
+	if s.finished {
+		return nil, fmt.Errorf("engine: double finish")
+	}
+	s.finished = true
+	s.res.Cache = twolm.Stats{}
+	finishMetrics(s.cfg.Metrics, s.model.Name, s.mode, s.p.Clock.Now())
+	s.release()
+	s.res.aggregate()
+	return s.res, nil
 }
 
 // persistentTensor reports whether id is in the schedule's persistent set.

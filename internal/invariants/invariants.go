@@ -78,6 +78,12 @@ func (c *Checker) Detach() {
 	c.p.Clock.OnAdvance = nil
 }
 
+// OnAdvance runs the per-advance audit directly. The clock has a single
+// OnAdvance slot, so a multi-tenant dispatch loop claims the slot itself
+// and fans each advance out to every tenant's checker through this method;
+// it is exactly what Attach wires up.
+func (c *Checker) OnAdvance(now, dt float64) { c.onAdvance(now, dt) }
+
 // Checks returns how many audits have run.
 func (c *Checker) Checks() int64 { return c.checks }
 

@@ -22,6 +22,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -32,8 +33,6 @@ import (
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/models"
-	"cachedarrays/internal/pagemig"
-	"cachedarrays/internal/policy"
 )
 
 // Cell is one schedulable engine run: a model under an operating mode
@@ -356,34 +355,20 @@ func Normalize(mode string) (string, error) {
 	}
 }
 
-// RunMode is the single authoritative mode dispatcher: it maps a canonical
-// mode name (any Normalize spelling is accepted) to the engine entry point
-// and executes the run.
+// RunMode is the single authoritative mode dispatcher: it builds the
+// engine's event-driven stepper for a canonical mode name (any Normalize
+// spelling is accepted) and drives it to completion.
 func RunMode(m *models.Model, mode string, cfg engine.Config) (*engine.Result, error) {
-	switch mode {
-	case "2LM:0":
-		return engine.Run2LM(m, false, cfg)
-	case "2LM:M":
-		return engine.Run2LM(m, true, cfg)
-	case "CA:0":
-		return engine.RunCA(m, policy.CAZero, cfg)
-	case "CA:L":
-		return engine.RunCA(m, policy.CAL, cfg)
-	case "CA:LM":
-		return engine.RunCA(m, policy.CALM, cfg)
-	case "CA:LMP":
-		return engine.RunCA(m, policy.CALMP, cfg)
-	case "CA:OG", "CA:TG", "CA:OGTG":
-		return engine.RunCAAdaptive(m, mode, cfg)
-	case "OS:page":
-		return engine.RunPageMig(m, pagemig.DefaultConfig(), cfg)
-	case "AutoTM":
-		return engine.RunPlanned(m, nil, cfg)
-	default:
-		canon, err := Normalize(mode)
-		if err != nil {
-			return nil, err
+	st, err := engine.NewStepper(m, mode, cfg, nil)
+	if errors.Is(err, engine.ErrUnknownMode) {
+		canon, nerr := Normalize(mode)
+		if nerr != nil {
+			return nil, nerr
 		}
-		return RunMode(m, canon, cfg)
+		st, err = engine.NewStepper(m, canon, cfg, nil)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return engine.Drive(st)
 }

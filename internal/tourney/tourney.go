@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"cachedarrays/internal/cluster"
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/experiments"
 	"cachedarrays/internal/memsim"
@@ -168,6 +169,11 @@ type Options struct {
 	Iterations int
 	// Scale divides batch sizes in the default workloads (quick looks).
 	Scale int
+	// NoCluster skips the contention column: a 2-tenant cluster run per
+	// mode (the candidate sharing a tight platform with a CA:LMP
+	// antagonist) that scores how gracefully each policy degrades under a
+	// noisy neighbour.
+	NoCluster bool
 	// Sched executes the cells (nil = a private serial scheduler). A
 	// shared scheduler brings its result cache: a re-run tournament is
 	// served entirely from cache.
@@ -239,6 +245,13 @@ type ModeScore struct {
 	// pairs of faulted iteration time over the same mode's clean time
 	// (1.0 = faults cost nothing; absent fault variants report 1.0).
 	FaultDegradation float64 `json:"fault_degradation"`
+	// ClusterSlowdown is the mode's slowdown versus its solo run when it
+	// shares a tight platform with a CA:LMP antagonist (the contention
+	// column; 0 when Options.NoCluster). Lower is more neighbour-proof.
+	ClusterSlowdown float64 `json:"cluster_slowdown,omitempty"`
+	// ClusterInducedEvictions counts the evictions the antagonist forced
+	// on this mode beyond its solo count in the same scenario.
+	ClusterInducedEvictions int64 `json:"cluster_induced_evictions,omitempty"`
 }
 
 // Result is a completed tournament: the ranked scores plus every cell.
@@ -337,6 +350,11 @@ func Run(opts Options) (*Result, error) {
 		}
 		res.Scores = append(res.Scores, s)
 	}
+	if !opts.NoCluster {
+		if err := clusterColumn(res, opts); err != nil {
+			return nil, err
+		}
+	}
 	sort.SliceStable(res.Scores, func(i, j int) bool {
 		if res.Scores[i].RelTime != res.Scores[j].RelTime {
 			return res.Scores[i].RelTime < res.Scores[j].RelTime
@@ -347,6 +365,45 @@ func Run(opts Options) (*Result, error) {
 		res.Scores[i].Rank = i + 1
 	}
 	return res, nil
+}
+
+// clusterModel builds the contention scenario's workload: an MLP whose
+// working set overflows the scenario's fast tier when shared but fits
+// solo, so the column isolates neighbour-induced cost.
+func clusterModel() (*models.Model, error) {
+	return models.MLP(1024, []int{4096, 4096}, 10, 256), nil
+}
+
+// clusterColumn fills each score's contention metrics: the candidate mode
+// as victim against a CA:LMP antagonist on one tight shared platform,
+// with the solo baselines going through the tournament's scheduler (and
+// its cache — the antagonist's baseline dedups across candidates).
+func clusterColumn(res *Result, opts Options) error {
+	// The scenario is fixed (not scaled by Options): a tight fast tier
+	// and enough iterations for thrash cycles to develop, so the column
+	// stays comparable across tournament configurations.
+	cfg := engine.Config{
+		FastCapacity: 128 * units.MB,
+		SlowCapacity: 4 * units.GB,
+		Iterations:   3,
+	}
+	for i, s := range res.Scores {
+		cres, err := cluster.Run(cluster.Config{
+			Engine: cfg,
+			Jobs: []cluster.Job{
+				{Name: "victim", Build: clusterModel, Mode: s.Mode},
+				{Name: "antagonist", Build: clusterModel, Mode: "CA:LMP"},
+			},
+			Baselines: opts.Sched,
+		})
+		if err != nil {
+			return fmt.Errorf("tourney: cluster column, mode %s: %w", s.Mode, err)
+		}
+		victim := cres.Tenants[0]
+		res.Scores[i].ClusterSlowdown = victim.Slowdown
+		res.Scores[i].ClusterInducedEvictions = victim.InducedEvictions
+	}
+	return nil
 }
 
 // byCell finds a cell extract (linear scan; tournament sizes are tiny).
@@ -370,15 +427,32 @@ func (r *Result) Ranking() *experiments.Table {
 			"fault degradation: geomean of faulted/clean iteration time for the same mode (1.000 = unaffected)",
 		},
 	}
+	withCluster := false
 	for _, s := range r.Scores {
-		t.Rows = append(t.Rows, []string{
+		if s.ClusterSlowdown != 0 {
+			withCluster = true
+		}
+	}
+	if withCluster {
+		t.Header = append(t.Header, "cluster slowdown", "induced evict")
+		t.Notes = append(t.Notes,
+			"cluster slowdown: the mode's slowdown vs. solo sharing a tight platform with a CA:LMP antagonist (lower = more neighbour-proof)")
+	}
+	for _, s := range r.Scores {
+		row := []string{
 			fmt.Sprint(s.Rank), s.Mode,
 			fmt.Sprintf("%.3f", s.RelTime),
 			fmt.Sprint(s.Wins),
 			fmt.Sprintf("%.1f%%", 100*s.MoveShare),
 			fmt.Sprint(s.Moves),
 			fmt.Sprintf("%.3f", s.FaultDegradation),
-		})
+		}
+		if withCluster {
+			row = append(row,
+				fmt.Sprintf("%.2fx", s.ClusterSlowdown),
+				fmt.Sprint(s.ClusterInducedEvictions))
+		}
+		t.Rows = append(t.Rows, row)
 	}
 	return t
 }
