@@ -65,16 +65,11 @@ func main() {
 	}
 
 	if *platforms <= 1 {
-		finish := sess.Apply("cluster", &ecfg)
-		res, err := cluster.Run(cluster.Config{Engine: ecfg, Jobs: mix, Baselines: baselines})
+		ccfg := cluster.Config{Engine: ecfg, Jobs: mix, Baselines: baselines}
+		finish := sess.ApplyCluster("cluster", &ccfg)
+		res, err := cluster.Run(ccfg)
 		fatal(err)
-		var tr *engine.Result
-		if len(res.Tenants) == 1 {
-			tr = res.Tenants[0].Result
-		}
-		if tr != nil || shared.Trace == "" {
-			fatal(finish(tr))
-		}
+		fatal(finish(res))
 		if *asJSON {
 			emitJSON(res)
 			return
@@ -95,6 +90,7 @@ func main() {
 		Policy:    *policy,
 		Workers:   shared.Parallel,
 		Baselines: baselines,
+		Metrics:   sess.Registry("router"),
 	})
 	fatal(err)
 	if *asJSON {

@@ -5,9 +5,12 @@
 //	cametrics show run.json         # statistics table from a JSON summary
 //	cametrics diff base.json cur.json           # compare two runs
 //	cametrics diff -rel 0.05 base.json cur.json # 5% regression threshold
+//	cametrics diff -run cluster -tenant mix0-ca_lm base.json cur.json
 //
 // diff exits nonzero when any per-series statistic moved by more than the
-// relative threshold — the CI regression gate.
+// relative threshold — the CI regression gate. -run refuses to compare
+// summaries from a differently named run; -tenant scopes a cluster
+// summary to one tenant's series.
 package main
 
 import (
@@ -28,7 +31,7 @@ func main() {
 
 const usage = `usage:
   cametrics show <run.csv | run.json>
-  cametrics diff [-rel <frac>] <base.json> <cur.json>
+  cametrics diff [-rel <frac>] [-run <name>] [-tenant <label>] <base.json> <cur.json>
 `
 
 // cliMain is the testable entry point; it returns the process exit code
@@ -205,6 +208,8 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cametrics diff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rel := fs.Float64("rel", 0.02, "relative-delta threshold: |new-old|/max(|old|,|new|) above this is a regression")
+	run := fs.String("run", "", "require both summaries to come from this run (meta run=...)")
+	tenant := fs.String("tenant", "", "diff only this tenant's series (cluster_<label>_* or a per-tenant export)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -231,6 +236,12 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	if base, err = filterSummary(base, *run, *tenant, fs.Arg(0)); err != nil {
+		return fail(stderr, err)
+	}
+	if cur, err = filterSummary(cur, *run, *tenant, fs.Arg(1)); err != nil {
+		return fail(stderr, err)
+	}
 	deltas := metrics.Diff(base, cur, *rel)
 	if len(deltas) == 0 {
 		fmt.Fprintf(stdout, "no deltas above %.3g%% across %d series\n", 100**rel, len(base.Series))
@@ -249,4 +260,37 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 1
+}
+
+// filterSummary restricts a summary to the selected run and tenant before
+// diffing. -run guards against comparing unrelated exports; -tenant scopes
+// the gate to one tenant of a cluster run, accepting either a per-tenant
+// export (meta tenant=<label>) or a cluster summary's cluster_<label>_*
+// series.
+func filterSummary(s *metrics.Summary, run, tenant, path string) (*metrics.Summary, error) {
+	if run != "" && s.Meta["run"] != run {
+		return nil, fmt.Errorf("%s: summary is from run %q, not %q", path, s.Meta["run"], run)
+	}
+	if tenant == "" || s.Meta["tenant"] == tenant {
+		return s, nil
+	}
+	prefix := "cluster_" + tenant + "_"
+	out := *s
+	out.Series = make(map[string]metrics.SeriesSummary)
+	for n, ss := range s.Series {
+		if strings.HasPrefix(n, prefix) {
+			out.Series[n] = ss
+		}
+	}
+	out.Histograms = make(map[string]metrics.HistogramSnapshot)
+	for n, h := range s.Histograms {
+		if strings.HasPrefix(n, prefix) {
+			out.Histograms[n] = h
+		}
+	}
+	if len(out.Series) == 0 {
+		return nil, fmt.Errorf("%s: no series for tenant %q (summary is tenant %q and has no %s* series)",
+			path, tenant, s.Meta["tenant"], prefix)
+	}
+	return &out, nil
 }

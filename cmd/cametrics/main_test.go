@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -101,6 +102,106 @@ func TestDiffTripsOnPerturbedRun(t *testing.T) {
 	}
 	if !strings.Contains(out, "engine_iterations") {
 		t.Errorf("diff report does not name the moved series:\n%s", out)
+	}
+}
+
+// writeSummary fabricates a summary file with fixed gauge values and the
+// given run/tenant meta — the shape of a cacluster -metrics-summary
+// export, without running a cluster.
+func writeSummary(t *testing.T, dir, file, runName, tenantMeta string, series map[string]float64) string {
+	t.Helper()
+	reg := metrics.New(0)
+	reg.SetMeta("run", runName)
+	if tenantMeta != "" {
+		reg.SetMeta("tenant", tenantMeta)
+	}
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v := series[n]
+		reg.Gauge(n, func() float64 { return v })
+	}
+	reg.Flush(0)
+	path := filepath.Join(dir, file)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.WriteSummary(f, reg.Summarize()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+// TestDiffTenantScopesClusterSummary: -tenant restricts the gate to one
+// tenant's cluster_<label>_* series, so a neighbour's drift neither trips
+// nor hides behind the selected tenant.
+func TestDiffTenantScopesClusterSummary(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSummary(t, dir, "base.json", "cluster", "", map[string]float64{
+		"cluster_a_fast_bytes": 100,
+		"cluster_b_fast_bytes": 50,
+		"cluster_dispatches":   7,
+	})
+	cur := writeSummary(t, dir, "cur.json", "cluster", "", map[string]float64{
+		"cluster_a_fast_bytes": 100,
+		"cluster_b_fast_bytes": 80, // only tenant b moved
+		"cluster_dispatches":   7,
+	})
+
+	// Tenant a is unchanged: scoped self-consistent diff passes.
+	if code, out, errOut := runCLI("diff", "-rel", "0", "-tenant", "a", base, cur); code != 0 {
+		t.Fatalf("-tenant a: exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	// Tenant b moved: scoped diff trips and names the series.
+	code, out, _ := runCLI("diff", "-rel", "0", "-tenant", "b", base, cur)
+	if code != 1 || !strings.Contains(out, "cluster_b_fast_bytes") {
+		t.Fatalf("-tenant b: exit %d\nstdout: %s", code, out)
+	}
+	// Unscoped diff still sees the full export.
+	if code, _, _ := runCLI("diff", "-rel", "0", base, cur); code != 1 {
+		t.Fatalf("unscoped diff: exit %d, want 1", code)
+	}
+	// An unknown tenant is an error, not a vacuous pass.
+	code, _, errOut := runCLI("diff", "-tenant", "zz", base, cur)
+	if code != 1 || !strings.Contains(errOut, "no series for tenant") {
+		t.Fatalf("-tenant zz: exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// TestDiffRunGuard: -run refuses to compare a summary from a different
+// run instead of reporting spurious deltas.
+func TestDiffRunGuard(t *testing.T) {
+	dir := t.TempDir()
+	s := writeSummary(t, dir, "s.json", "cluster", "", map[string]float64{"cluster_dispatches": 3})
+	if code, _, _ := runCLI("diff", "-rel", "0", "-run", "cluster", s, s); code != 0 {
+		t.Fatalf("matching -run: exit %d, want 0", code)
+	}
+	code, _, errOut := runCLI("diff", "-run", "other", s, s)
+	if code != 1 || !strings.Contains(errOut, `not "other"`) {
+		t.Fatalf("mismatched -run: exit %d, stderr: %s", code, errOut)
+	}
+}
+
+// TestDiffTenantSelfIsZero: a per-tenant export (meta tenant=<label>)
+// diffed against itself under its own -tenant filter reports nothing —
+// the scoped gate's baseline property.
+func TestDiffTenantSelfIsZero(t *testing.T) {
+	dir := t.TempDir()
+	s := writeSummary(t, dir, "tenant.json", "cluster", "mix0-ca_lm", map[string]float64{
+		"engine_iterations": 2,
+		"mem_dram_used":     1 << 20,
+	})
+	code, out, errOut := runCLI("diff", "-rel", "0", "-tenant", "mix0-ca_lm", s, s)
+	if code != 0 {
+		t.Fatalf("tenant self-diff: exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "no deltas") {
+		t.Errorf("tenant self-diff output: %s", out)
 	}
 }
 

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"cachedarrays/internal/tracing"
+	"cachedarrays/internal/units"
+)
+
+// clusterReport summarizes a multi-tenant (tenant-tagged) trace: per-lane
+// re-verification, the per-tenant outcome table, and the two cross-tenant
+// interference matrices — wait time attributed to the tenant that was
+// running, and induced evictions attributed to the tenant holding the
+// most fast-tier bytes when the eviction fired.
+func clusterReport(w io.Writer, events []tracing.Event, c *tracing.ClusterTotals) error {
+	if err := tracing.VerifyLanes(events); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cluster trace: %d events, %d tenants, devices %s+%s (per-lane consistency verified)\n",
+		len(events), len(c.Tenants), c.FastDevice, c.SlowDevice)
+	fmt.Fprintf(w, "makespan    : %s over %d dispatched events\n",
+		units.Seconds(c.Makespan), c.Dispatches)
+	fmt.Fprintf(w, "traffic     : %s read %s, write %s; %s read %s, write %s\n",
+		c.FastDevice, units.Bytes(c.FastReadBytes), units.Bytes(c.FastWriteBytes),
+		c.SlowDevice, units.Bytes(c.SlowReadBytes), units.Bytes(c.SlowWriteBytes))
+
+	fmt.Fprintln(w, "\nper-tenant outcome:")
+	fmt.Fprintf(w, "  %-16s %-8s %6s %10s %10s %9s %14s %14s\n",
+		"tenant", "mode", "events", "busy", "wait", "slowdown", "fast traffic", "induced evict")
+	for _, t := range c.Tenants {
+		slowdown := "-"
+		if t.Slowdown > 0 {
+			slowdown = fmt.Sprintf("%.2fx", t.Slowdown)
+		}
+		fmt.Fprintf(w, "  %-16s %-8s %6d %10s %10s %9s %14s %14d\n",
+			clip(t.Name, 16), t.Mode, t.Steps,
+			units.Seconds(t.Busy), units.Seconds(t.Wait), slowdown,
+			units.Bytes(t.FastReadBytes+t.FastWriteBytes), t.InducedEvictions)
+	}
+
+	printWaitMatrix(w, events, c)
+	printEvictionMatrix(w, events, c)
+	return nil
+}
+
+// printWaitMatrix attributes each tenant's wait time to the tenants whose
+// events the platform was running meanwhile: every clock advance inside
+// the victim's active span that belongs to another lane is time that lane
+// kept the victim off the platform (in-flight transfers and quota holds
+// both surface as the blocker's clock advances).
+func printWaitMatrix(w io.Writer, events []tracing.Event, c *tracing.ClusterTotals) {
+	idx := laneIndex(c)
+	n := len(c.Tenants)
+	wait := make([][]float64, n)
+	for i := range wait {
+		wait[i] = make([]float64, n)
+	}
+	for _, e := range events {
+		if e.Kind != tracing.KindClock || e.Tenant == "" {
+			continue
+		}
+		bi, ok := idx[e.Tenant]
+		if !ok {
+			continue
+		}
+		for vi := range c.Tenants {
+			if vi == bi {
+				continue
+			}
+			v := &c.Tenants[vi]
+			// The advance ends at T0; it blocked tenants that were live
+			// (started, unfinished) while it ran.
+			if e.T0 > v.Start && e.T0 <= v.Finish {
+				wait[vi][bi] += e.Dur
+			}
+		}
+	}
+	printMatrix(w, c, wait, "stall/wait attribution (seconds the column tenant ran while the row tenant waited):",
+		func(v float64) string { return units.Seconds(v) },
+		func(vi int) string { return units.Seconds(c.Tenants[vi].Wait) })
+}
+
+// printEvictionMatrix attributes each tenant's induced evictions (its
+// evictions beyond the solo baseline) to the co-tenant holding the most
+// fast-tier bytes at the instant the eviction fired — the neighbour whose
+// residency squeezed the victim. A tenant's first evictions are the ones
+// it would also have suffered solo, so the attribution takes the *last*
+// InducedEvictions of each lane. Row sums therefore equal the cluster's
+// per-tenant induced-eviction counters by construction.
+func printEvictionMatrix(w io.Writer, events []tracing.Event, c *tracing.ClusterTotals) {
+	idx := laneIndex(c)
+	n := len(c.Tenants)
+	var induced int64
+	for _, t := range c.Tenants {
+		induced += t.InducedEvictions
+	}
+	if induced == 0 {
+		fmt.Fprintln(w, "\nno induced evictions (no cross-tenant capacity interference, or run without baselines)")
+		return
+	}
+
+	// Pass 1: walk the merged stream, tracking each tenant's fast-tier
+	// holdings from its alloc/free events; at every eviction decision
+	// record the victim and the co-tenant with the largest holdings.
+	holdings := make([]int64, n)
+	type evict struct{ victim, blamed int }
+	var evicts []evict
+	for _, e := range events {
+		ti, ok := idx[e.Tenant]
+		if !ok {
+			continue
+		}
+		switch e.Kind {
+		case tracing.KindAlloc:
+			if e.To == "fast" {
+				holdings[ti] += e.Bytes
+			}
+		case tracing.KindFree:
+			if e.From == "fast" {
+				holdings[ti] -= e.Bytes
+			}
+		case tracing.KindDecision:
+			if e.Op != "evict" && e.Op != "evict-forced" {
+				continue
+			}
+			blamed := -1
+			for ci := 0; ci < n; ci++ {
+				if ci == ti {
+					continue
+				}
+				if blamed < 0 || holdings[ci] > holdings[blamed] {
+					blamed = ci
+				}
+			}
+			if blamed >= 0 {
+				evicts = append(evicts, evict{victim: ti, blamed: blamed})
+			}
+		}
+	}
+
+	// Pass 2: per victim, count only its last InducedEvictions records.
+	counts := make([][]float64, n)
+	perVictim := make([][]evict, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+	}
+	for _, ev := range evicts {
+		perVictim[ev.victim] = append(perVictim[ev.victim], ev)
+	}
+	for vi := range c.Tenants {
+		k := int(c.Tenants[vi].InducedEvictions)
+		evs := perVictim[vi]
+		if k > len(evs) {
+			k = len(evs)
+		}
+		for _, ev := range evs[len(evs)-k:] {
+			counts[vi][ev.blamed]++
+		}
+	}
+	printMatrix(w, c, counts, "induced-eviction attribution (evictions of the row tenant induced by the column tenant):",
+		func(v float64) string { return fmt.Sprintf("%d", int64(v)) },
+		func(vi int) string { return fmt.Sprintf("%d", c.Tenants[vi].InducedEvictions) })
+}
+
+// laneIndex maps tenant lane names to their cluster-record positions.
+func laneIndex(c *tracing.ClusterTotals) map[string]int {
+	idx := make(map[string]int, len(c.Tenants))
+	for i, t := range c.Tenants {
+		idx[t.Name] = i
+	}
+	return idx
+}
+
+// printMatrix renders one who-did-what-to-whom matrix: rows are victims,
+// columns the co-tenants the effect is attributed to, with a trailing
+// total column from the cluster record.
+func printMatrix(w io.Writer, c *tracing.ClusterTotals, m [][]float64,
+	title string, cell func(float64) string, total func(int) string) {
+
+	fmt.Fprintf(w, "\n%s\n", title)
+	fmt.Fprintf(w, "  %-16s", "")
+	cols := make([]string, len(c.Tenants))
+	for i, t := range c.Tenants {
+		cols[i] = clip(t.Name, 12)
+		fmt.Fprintf(w, " %12s", cols[i])
+	}
+	fmt.Fprintf(w, " %12s\n", "total")
+	for vi, t := range c.Tenants {
+		fmt.Fprintf(w, "  %-16s", clip(t.Name, 16))
+		for bi := range c.Tenants {
+			s := "-"
+			if bi != vi {
+				s = cell(m[vi][bi])
+			}
+			fmt.Fprintf(w, " %12s", s)
+		}
+		fmt.Fprintf(w, " %12s\n", total(vi))
+	}
+}

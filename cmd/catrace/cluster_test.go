@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cachedarrays/internal/cluster"
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/models"
+	"cachedarrays/internal/sched"
+	"cachedarrays/internal/tracing"
+	"cachedarrays/internal/units"
+)
+
+// writeClusterTraceFile runs a small traced three-tenant cluster (with
+// solo baselines so induced-eviction counters are populated) and writes
+// its JSONL export to a temp file.
+func writeClusterTraceFile(t *testing.T) (string, []tracing.Event) {
+	t.Helper()
+	m := func() *models.Model { return models.MLP(1024, []int{4096, 4096}, 10, 256) }
+	cfg := engine.Config{
+		FastCapacity: 32 * units.MB,
+		SlowCapacity: 2 * units.GB,
+		Iterations:   2,
+		Trace:        true,
+	}
+	res, err := cluster.Run(cluster.Config{
+		Engine: cfg,
+		Jobs: []cluster.Job{
+			{Name: "a", Model: m(), Mode: "CA:LMP"},
+			{Name: "b", Model: m(), Mode: "CA:LM", Arrival: 0.001},
+			{Name: "c", Model: m(), Mode: "2LM:M", Arrival: 0.002},
+		},
+		Baselines: &sched.Scheduler{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tracing.WriteJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cluster.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, res.Trace
+}
+
+// TestCLISummarizesClusterTrace drives the full command path on a genuine
+// cacluster -trace export: lane verification, the tenant table, and both
+// interference matrices.
+func TestCLISummarizesClusterTrace(t *testing.T) {
+	path, _ := writeClusterTraceFile(t)
+	var stdout, stderr bytes.Buffer
+	if code := cliMain([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"per-lane consistency verified",
+		"per-tenant outcome:",
+		"stall/wait attribution",
+		"induced-eviction attribution",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, tenant := range []string{"a", "b", "c"} {
+		if !strings.Contains(out, tenant) {
+			t.Errorf("tenant %q missing from report:\n%s", tenant, out)
+		}
+	}
+	// A cluster trace must not fall through to the solo report.
+	if strings.Contains(out, "most-moved objects") {
+		t.Errorf("cluster trace produced the solo object listing:\n%s", out)
+	}
+}
+
+// TestCLIRejectsTamperedClusterTrace: corrupting the cluster record's
+// per-tenant attribution must fail lane re-verification with exit 1.
+func TestCLIRejectsTamperedClusterTrace(t *testing.T) {
+	_, events := writeClusterTraceFile(t)
+	tampered := make([]tracing.Event, len(events))
+	copy(tampered, events)
+	hit := false
+	for i := range tampered {
+		if tampered[i].Cluster != nil {
+			c := *tampered[i].Cluster
+			c.Tenants = append([]tracing.TenantTotals(nil), c.Tenants...)
+			c.Tenants[0].FastReadBytes += 4096
+			tampered[i].Cluster = &c
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("trace has no cluster record")
+	}
+	var buf bytes.Buffer
+	if err := tracing.WriteJSONL(&buf, tampered); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tampered.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := cliMain([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "catrace:") {
+		t.Errorf("stderr lacks the error line: %q", stderr.String())
+	}
+}
+
+// matrixRow finds the matrix row for a tenant and splits it into fields.
+func matrixRow(t *testing.T, out, tenant string) []string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		// Rows are "  <name padded> cells..."; the column-header line
+		// starts with the padding only.
+		if strings.HasPrefix(line, "  "+tenant+" ") {
+			return strings.Fields(line)
+		}
+	}
+	t.Fatalf("no row for tenant %q in:\n%s", tenant, out)
+	return nil
+}
+
+// TestEvictionMatrixAttribution pins the attribution rule on a synthetic
+// stream: each of a victim's last InducedEvictions eviction decisions is
+// blamed on the co-tenant holding the most fast-tier bytes at that
+// instant, and each row sums to the victim's induced-eviction counter.
+func TestEvictionMatrixAttribution(t *testing.T) {
+	c := &tracing.ClusterTotals{Tenants: []tracing.TenantTotals{
+		{Name: "A", InducedEvictions: 2},
+		{Name: "B", InducedEvictions: 0},
+		{Name: "C", InducedEvictions: 1},
+	}}
+	events := []tracing.Event{
+		{Kind: tracing.KindAlloc, Tenant: "A", To: "fast", Bytes: 100},
+		{Kind: tracing.KindAlloc, Tenant: "B", To: "fast", Bytes: 200},
+		{Kind: tracing.KindAlloc, Tenant: "C", To: "fast", Bytes: 50},
+		// C evicts while B holds the most fast bytes -> blamed on B.
+		{Kind: tracing.KindDecision, Tenant: "C", Op: "evict"},
+		{Kind: tracing.KindFree, Tenant: "B", From: "fast", Bytes: 200},
+		// A evicts three times with B empty and C at 50 -> blamed on C;
+		// only the last two count against A's induced total.
+		{Kind: tracing.KindDecision, Tenant: "A", Op: "evict"},
+		{Kind: tracing.KindDecision, Tenant: "A", Op: "evict-forced"},
+		{Kind: tracing.KindDecision, Tenant: "A", Op: "evict"},
+		// Non-eviction decisions never enter the matrix.
+		{Kind: tracing.KindDecision, Tenant: "A", Op: "prefetch"},
+	}
+	var buf bytes.Buffer
+	printEvictionMatrix(&buf, events, c)
+	out := buf.String()
+
+	// Columns: A, B, C, total; the self cell renders as "-".
+	if got := matrixRow(t, out, "A"); got[1] != "-" || got[2] != "0" || got[3] != "2" || got[4] != "2" {
+		t.Errorf("row A = %v, want [A - 0 2 2]", got)
+	}
+	if got := matrixRow(t, out, "B"); got[2] != "-" || got[4] != "0" {
+		t.Errorf("row B = %v, want self '-' and total 0", got)
+	}
+	if got := matrixRow(t, out, "C"); got[1] != "0" || got[2] != "1" || got[4] != "1" {
+		t.Errorf("row C = %v, want [C 0 1 - 1]", got)
+	}
+}
+
+// TestEvictionMatrixOmittedWhenNoInterference: zero induced evictions
+// (solo-equivalent run, or no baselines) prints the note, not a matrix.
+func TestEvictionMatrixOmittedWhenNoInterference(t *testing.T) {
+	c := &tracing.ClusterTotals{Tenants: []tracing.TenantTotals{
+		{Name: "A"}, {Name: "B"},
+	}}
+	var buf bytes.Buffer
+	printEvictionMatrix(&buf, nil, c)
+	if !strings.Contains(buf.String(), "no induced evictions") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+// TestWaitMatrixWindows pins the wait attribution: only another lane's
+// clock advances that end inside the victim's [start, finish] span count.
+func TestWaitMatrixWindows(t *testing.T) {
+	c := &tracing.ClusterTotals{Tenants: []tracing.TenantTotals{
+		{Name: "A", Start: 0, Finish: 10, Wait: 4},
+		{Name: "B", Start: 0, Finish: 20},
+	}}
+	events := []tracing.Event{
+		// Inside A's span: charged to B on A's row.
+		{Kind: tracing.KindClock, Tenant: "B", T0: 5, Dur: 4},
+		// After A finished: not A's wait.
+		{Kind: tracing.KindClock, Tenant: "B", T0: 15, Dur: 3},
+		// A's own advances never appear on its row.
+		{Kind: tracing.KindClock, Tenant: "A", T0: 6, Dur: 2},
+		// Untagged advances (setup between dispatches) are unattributed.
+		{Kind: tracing.KindClock, T0: 7, Dur: 1},
+	}
+	var buf bytes.Buffer
+	printWaitMatrix(&buf, events, c)
+	out := buf.String()
+	rowA := strings.Join(matrixRow(t, out, "A"), " ")
+	if !strings.Contains(rowA, "4.000 s") || strings.Contains(rowA, "7.000") {
+		t.Errorf("row A = %q, want 4 s charged to B", rowA)
+	}
+	rowB := strings.Join(matrixRow(t, out, "B"), " ")
+	if !strings.Contains(rowB, "2.000 s") {
+		t.Errorf("row B = %q, want A's 2 s advance charged while B ran", rowB)
+	}
+}

@@ -5,11 +5,18 @@
 // decisions to their hint windows, and reconstructs per-object movement
 // histories.
 //
+// Cluster traces (cacluster -trace) are detected automatically: the tool
+// re-verifies every tenant's lane instead, then prints the per-tenant
+// outcome table and the two cross-tenant interference matrices — stall
+// time attributed to the tenant that was running, and induced evictions
+// attributed to the tenant crowding the fast tier.
+//
 // Examples:
 //
 //	carun -model vgg416 -batch 256 -mode CA:LMP -trace run.jsonl
 //	catrace run.jsonl
 //	catrace -top 20 -objects 5 -v run.jsonl
+//	cacluster -jobs 3 -trace cluster.jsonl && catrace cluster.jsonl
 package main
 
 import (
@@ -60,6 +67,13 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(events) == 0 {
 		return fail(fmt.Errorf("%s: empty trace", fs.Arg(0)))
+	}
+
+	if c := tracing.FindCluster(events); c != nil {
+		if err := clusterReport(stdout, events, c); err != nil {
+			return fail(err)
+		}
+		return 0
 	}
 
 	t := tracing.FindTotals(events)

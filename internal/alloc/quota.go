@@ -15,6 +15,11 @@ import "fmt"
 type Quota struct {
 	capacity int64
 	used     int64
+	// rejections / rejectedBytes count Alloc attempts the budget refused
+	// — the cluster's per-tier contention signal (a tenant squeezed by
+	// its neighbours shows up here before it shows up as evictions).
+	rejections    int64
+	rejectedBytes int64
 }
 
 // NewQuota builds a budget of capacity bytes.
@@ -33,6 +38,18 @@ func (q *Quota) Used() int64 { return q.used }
 
 // Avail returns the bytes still reservable.
 func (q *Quota) Avail() int64 { return q.capacity - q.used }
+
+// Rejections returns the number of Alloc attempts the budget refused.
+func (q *Quota) Rejections() int64 { return q.rejections }
+
+// RejectedBytes returns the total size of refused Alloc attempts.
+func (q *Quota) RejectedBytes() int64 { return q.rejectedBytes }
+
+// reject records one refused allocation of n bytes.
+func (q *Quota) reject(n int64) {
+	q.rejections++
+	q.rejectedBytes += n
+}
 
 // reserve takes n bytes from the budget, reporting false (and reserving
 // nothing) when fewer than n are available.
@@ -88,6 +105,7 @@ func Limit(a Allocator, q *Quota) Allocator {
 // accounting matches heap accounting exactly.
 func (l *Limited) Alloc(size int64) (int64, error) {
 	if size > l.quota.Avail() {
+		l.quota.reject(size)
 		return 0, ErrExhausted
 	}
 	off, err := l.inner.Alloc(size)
@@ -97,6 +115,7 @@ func (l *Limited) Alloc(size int64) (int64, error) {
 	actual := l.inner.SizeOf(off)
 	if !l.quota.reserve(actual) {
 		l.inner.Free(off)
+		l.quota.reject(actual)
 		return 0, ErrExhausted
 	}
 	l.charged += actual

@@ -178,3 +178,34 @@ func TestQuotaRollbackOnBudgetRace(t *testing.T) {
 		t.Fatalf("failed alloc leaked %d bytes of heap", a.Used())
 	}
 }
+
+// TestQuotaRejectionCounters: every failed allocation under quota
+// pressure increments the rejection counters the cluster's live series
+// export — whether the budget check or the post-alloc reservation failed.
+func TestQuotaRejectionCounters(t *testing.T) {
+	q := NewQuota(1 << 20)
+	a := Limit(NewFreeList(1<<20, FirstFit), q)
+
+	if q.Rejections() != 0 || q.RejectedBytes() != 0 {
+		t.Fatalf("fresh quota has rejections: %d/%d", q.Rejections(), q.RejectedBytes())
+	}
+	if _, err := a.Alloc(768 << 10); err != nil {
+		t.Fatal(err)
+	}
+	// Over budget: rejected by the pre-check.
+	if _, err := a.Alloc(512 << 10); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("overcommit err = %v", err)
+	}
+	if q.Rejections() != 1 || q.RejectedBytes() != 512<<10 {
+		t.Fatalf("after overcommit: rejections=%d bytes=%d", q.Rejections(), q.RejectedBytes())
+	}
+	// A successful allocation does not move the counters.
+	off, err := a.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(off)
+	if q.Rejections() != 1 {
+		t.Fatalf("success moved the rejection counter to %d", q.Rejections())
+	}
+}

@@ -27,6 +27,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"cachedarrays/internal/alloc"
 	"cachedarrays/internal/engine"
@@ -35,6 +36,7 @@ import (
 	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/sched"
+	"cachedarrays/internal/tracing"
 )
 
 // Job describes one tenant submitted to a cluster.
@@ -65,11 +67,14 @@ type Job struct {
 // Config parameterizes one shared-platform cluster run.
 type Config struct {
 	// Engine is the shared platform description plus the per-run knobs
-	// every tenant inherits. With more than one job, Trace and FaultSpec
-	// are rejected (the platform has a single tracer/injector slot) and
-	// Metrics becomes the cluster-level registry: the per-tenant fairness
-	// series register there instead of the engine's solo series. With
-	// exactly one job every field passes through untouched.
+	// every tenant inherits. With more than one job, FaultSpec is
+	// rejected (the platform has a single injector slot per device),
+	// Trace multiplexes every tenant onto one tagged recorder (the
+	// Result's Trace carries per-tenant lanes plus a trailing cluster
+	// record), and Metrics becomes the cluster-level registry: the
+	// per-tenant fairness series register there instead of the engine's
+	// solo series. With exactly one job every field passes through
+	// untouched.
 	Engine engine.Config
 	// Jobs are the tenants.
 	Jobs []Job
@@ -78,11 +83,22 @@ type Config struct {
 	// (SoloTime, Slowdown, InducedEvictions). Solo runs strip
 	// instrumentation that does not perturb results, so they cache.
 	Baselines *sched.Scheduler
+	// TenantMetrics, when non-nil on a multi-tenant run, supplies each
+	// tenant's private metrics registry (keyed by the tenant's sanitized
+	// label): the tenant's solo engine series land there instead of being
+	// dropped, and the caller exports them with tenant="..." labels. The
+	// cluster's fan-out hook drives sampling.
+	TenantMetrics func(label string) *metrics.Registry
 }
 
 // Tenant is one job's outcome and fairness metrics.
 type Tenant struct {
-	Name    string
+	Name string
+	// Label is the sanitized form of Name (lowercase, [a-z0-9.-], see
+	// runcfg.Name): the tenant's identity in metric series names
+	// (cluster_<label>_*), Prometheus tenant="..." labels and trace
+	// lanes. Unique across the cluster.
+	Label   string
 	Mode    string
 	Arrival float64
 
@@ -134,11 +150,22 @@ type Result struct {
 	Makespan float64
 	// Dispatches counts dispatched events across all tenants.
 	Dispatches int
+	// Trace is the multiplexed execution trace of a traced multi-tenant
+	// run: every tenant's events tagged with its lane plus a trailing
+	// cluster record (tracing.VerifyLanes checks it). A traced N=1 run
+	// keeps its trace on the tenant's own Result instead — that path is
+	// byte-identical to the solo engine. Excluded from JSON output: at
+	// paper scale it dwarfs the results (export it with WriteJSONL).
+	Trace []tracing.Event `json:"-"`
 }
 
 // tenant is the dispatch loop's per-job state.
 type tenant struct {
-	name  string
+	name string
+	// label is the sanitized (filesystem/label/series-safe) form of name:
+	// the tenant's identity in metric series names, Prometheus labels and
+	// trace lanes. Unique across the cluster (prepare rejects collisions).
+	label string
 	mode  string
 	model *models.Model
 	cfg   engine.Config
@@ -155,9 +182,14 @@ type tenant struct {
 	busy          float64
 	firstDispatch int
 	steps         int
-	fastBytes     int64
-	slowBytes     int64
-	result        *engine.Result
+	// fast/slow accumulate the device-counter deltas of this tenant's
+	// dispatch windows: the traffic attribution behind FastBytes/SlowBytes,
+	// the per-tenant series and the trace totals (exact — one tenant runs
+	// at a time).
+	fast   memsim.Counters
+	slow   memsim.Counters
+	lane   int // mux lane index (traced multi-tenant runs)
+	result *engine.Result
 }
 
 // Run executes the cluster: all jobs on one shared platform.
@@ -166,23 +198,101 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	multi := len(tenants) > 1
 	p, release := engine.AcquirePlatform(ecfg)
-	if err := dispatch(tenants, ecfg, p); err != nil {
+	var mux *tracing.Mux
+	if multi && ecfg.Trace {
+		// The cluster claims the platform's one tracer slot: the mux tags
+		// every event with the currently-dispatched tenant's lane, and
+		// the steppers thread the same recorder through their own layers
+		// (Env.Tracer) instead of installing private ones.
+		mux = tracing.NewMux(p.Clock.Now)
+		for _, t := range tenants {
+			t.lane = mux.Lane(t.label)
+		}
+		p.Clock.Tracer = mux.Recorder()
+		p.Copier.Tracer = mux.Recorder()
+	}
+	if err := dispatch(tenants, ecfg, p, mux); err != nil {
 		return nil, err // abandon the platform in its failed state
 	}
 	res := collect(tenants, p.Clock.Now())
-	if len(cfg.Jobs) > 1 && ecfg.Metrics.Enabled() {
+	if multi && ecfg.Metrics.Enabled() {
 		ecfg.Metrics.SetMeta("mode", "cluster")
 		ecfg.Metrics.SetMeta("model", fmt.Sprintf("%d-tenant", len(cfg.Jobs)))
 		ecfg.Metrics.Flush(p.Clock.Now())
 	}
+	// Snapshot the whole-platform counters before release resets them:
+	// the cluster trace record pins the per-tenant attribution to them.
+	fc, sc := p.Fast.Counters(), p.Slow.Counters()
+	fastDev, slowDev := p.Fast.Name, p.Slow.Name
 	release()
 	if cfg.Baselines != nil {
 		if err := fairness(res, tenants, cfg.Baselines); err != nil {
 			return nil, err
 		}
 	}
+	if mux != nil {
+		// Emitted after fairness so the record carries the solo-baseline
+		// metrics; the mux no longer touches the (released) platform.
+		mux.EmitCluster(clusterTotals(res, tenants, fc, sc, fastDev, slowDev))
+		res.Trace = mux.Events()
+	}
 	return res, nil
+}
+
+// clusterTotals assembles the trailing trace record from the collected
+// results and the dispatch loop's per-tenant traffic attribution.
+func clusterTotals(res *Result, tenants []*tenant, fc, sc memsim.Counters, fastDev, slowDev string) tracing.ClusterTotals {
+	c := tracing.ClusterTotals{
+		FastDevice:     fastDev,
+		SlowDevice:     slowDev,
+		FastReadBytes:  fc.ReadBytes,
+		FastWriteBytes: fc.WriteBytes,
+		SlowReadBytes:  sc.ReadBytes,
+		SlowWriteBytes: sc.WriteBytes,
+		Makespan:       res.Makespan,
+		Dispatches:     res.Dispatches,
+	}
+	for i, t := range tenants {
+		tn := res.Tenants[i]
+		c.Tenants = append(c.Tenants, tracing.TenantTotals{
+			Name:             t.label,
+			Mode:             t.mode,
+			Arrival:          tn.Arrival,
+			Start:            tn.Start,
+			Finish:           tn.Finish,
+			Busy:             tn.Busy,
+			Wait:             tn.Wait,
+			Steps:            tn.Steps,
+			SoloTime:         tn.SoloTime,
+			Slowdown:         tn.Slowdown,
+			InducedEvictions: tn.InducedEvictions,
+			FastReadBytes:    t.fast.ReadBytes,
+			FastWriteBytes:   t.fast.WriteBytes,
+			SlowReadBytes:    t.slow.ReadBytes,
+			SlowWriteBytes:   t.slow.WriteBytes,
+		})
+	}
+	return c
+}
+
+// sanitizeLabel folds a tenant name to its label form — lowercase, with
+// anything outside [a-z0-9.-] folded to '_' — mirroring runcfg.Name so a
+// tenant's metric series names, Prometheus labels, trace lanes and
+// output-file suffixes all agree. Commas and spaces in particular would
+// corrupt Prometheus label strings and wide-CSV headers.
+func sanitizeLabel(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
 }
 
 // prepare validates the config and resolves every job's model, mode and
@@ -193,13 +303,8 @@ func prepare(cfg Config) ([]*tenant, engine.Config, error) {
 		return nil, ecfg, errors.New("cluster: no jobs")
 	}
 	multi := len(cfg.Jobs) > 1
-	if multi && ecfg.Trace {
-		return nil, ecfg, errors.New("cluster: tracing requires a dedicated platform (one tracer slot); run the job solo or alone in the cluster")
-	}
-	if multi && ecfg.FaultSpec != "" {
-		return nil, ecfg, errors.New("cluster: fault injection requires a dedicated platform (one injector slot per device)")
-	}
 	tenants := make([]*tenant, len(cfg.Jobs))
+	labels := make(map[string]int, len(cfg.Jobs))
 	for i, j := range cfg.Jobs {
 		mode, err := sched.Normalize(j.Mode)
 		if err != nil {
@@ -221,6 +326,21 @@ func prepare(cfg Config) ([]*tenant, engine.Config, error) {
 		if name == "" {
 			name = fmt.Sprintf("job%d", i)
 		}
+		if multi && ecfg.FaultSpec != "" {
+			// One injector slot per device: a shared schedule would fire
+			// for whichever tenant happens to be dispatched, making the
+			// faults unattributable.
+			return nil, ecfg, fmt.Errorf(
+				"cluster: job %d (%s): fault injection requires a dedicated platform (one injector slot per device); run the faulted job solo",
+				i, name)
+		}
+		label := sanitizeLabel(name)
+		if prev, ok := labels[label]; ok {
+			return nil, ecfg, fmt.Errorf(
+				"cluster: job %d (%s) and job %d (%s) collide on tenant label %q; give the jobs distinct names",
+				prev, cfg.Jobs[prev].Name, i, j.Name, label)
+		}
+		labels[label] = i
 		jobCfg := ecfg
 		if j.Iterations > 0 {
 			jobCfg.Iterations = j.Iterations
@@ -228,14 +348,18 @@ func prepare(cfg Config) ([]*tenant, engine.Config, error) {
 		if multi {
 			// The shared registry belongs to the cluster (fairness
 			// series); tenants must not register their solo series into
-			// it — series names would collide.
+			// it — series names would collide. A TenantMetrics supplier
+			// gives each tenant a private registry instead.
 			jobCfg.Metrics = nil
+			if cfg.TenantMetrics != nil {
+				jobCfg.Metrics = cfg.TenantMetrics(label)
+			}
 		}
 		if j.Arrival < 0 {
 			return nil, ecfg, fmt.Errorf("cluster: job %d: negative arrival %g", i, j.Arrival)
 		}
 		tenants[i] = &tenant{
-			name: name, mode: mode, model: m, cfg: jobCfg, job: j,
+			name: name, label: label, mode: mode, model: m, cfg: jobCfg, job: j,
 			next: j.Arrival,
 		}
 	}
@@ -246,11 +370,21 @@ func prepare(cfg Config) ([]*tenant, engine.Config, error) {
 // unfinished tenant with the smallest private timestamp (ties broken by
 // job index — the loop scans in index order and strictly-smaller wins),
 // until every tenant has finished.
-func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform) error {
+func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform, mux *tracing.Mux) error {
 	env := &engine.Env{
 		Platform:  p,
 		FastQuota: alloc.NewQuota(p.Fast.Capacity),
 		SlowQuota: alloc.NewQuota(p.Slow.Capacity),
+	}
+	// active is the currently-dispatched tenant: the owner of every event
+	// and byte the platform produces until the next dispatch decision.
+	var active *tenant
+	if mux != nil {
+		env.Tracer = mux.Recorder()
+		env.Traffic = func() (int64, int64, int64, int64) {
+			return active.fast.ReadBytes, active.fast.WriteBytes,
+				active.slow.ReadBytes, active.slow.WriteBytes
+		}
 	}
 	// The clock has one OnAdvance hook and one Metrics slot; the cluster
 	// claims the hook and fans each advance out to every tenant's
@@ -267,12 +401,12 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform) error {
 			r.Tick(now, dt)
 		}
 	}
+	dispatches := 0
 	if len(tenants) > 1 && ecfg.Metrics.Enabled() {
-		registerClusterSeries(ecfg.Metrics, tenants)
+		registerClusterSeries(ecfg.Metrics, tenants, p, env, &dispatches)
 		regs = append(regs, ecfg.Metrics)
 	}
 
-	dispatches := 0
 	for {
 		best := -1
 		for i, t := range tenants {
@@ -287,6 +421,13 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform) error {
 			return nil
 		}
 		t := tenants[best]
+		active = t
+		if mux != nil {
+			// Dispatch boundary: subsequent events belong to this
+			// tenant's lane (the mux restores its iteration/kernel/hint
+			// context alongside the tag).
+			mux.Switch(t.lane)
+		}
 		if t.st == nil {
 			// First dispatch: build the stepper now, so the job's setup
 			// (persistent allocation, instrumentation wiring) happens at
@@ -301,8 +442,8 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform) error {
 			t.st = st
 			t.start = p.Clock.Now()
 			t.firstDispatch = dispatches
-			t.fastBytes += p.Fast.Counters().TotalBytes() - fb.TotalBytes()
-			t.slowBytes += p.Slow.Counters().TotalBytes() - sb.TotalBytes()
+			t.fast.Add(p.Fast.Counters().Sub(fb))
+			t.slow.Add(p.Slow.Counters().Sub(sb))
 		}
 		if !t.st.Done() {
 			fb, sb := p.Fast.Counters(), p.Slow.Counters()
@@ -313,8 +454,8 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform) error {
 			dt := p.Clock.Now() - before
 			t.busy += dt
 			t.next += dt
-			t.fastBytes += p.Fast.Counters().TotalBytes() - fb.TotalBytes()
-			t.slowBytes += p.Slow.Counters().TotalBytes() - sb.TotalBytes()
+			t.fast.Add(p.Fast.Counters().Sub(fb))
+			t.slow.Add(p.Slow.Counters().Sub(sb))
 			t.steps++
 			dispatches++
 		}
@@ -335,20 +476,20 @@ func collect(tenants []*tenant, makespan float64) *Result {
 	res := &Result{Makespan: makespan}
 	var totalFast int64
 	for _, t := range tenants {
-		totalFast += t.fastBytes
+		totalFast += t.fast.TotalBytes()
 		res.Dispatches += t.steps
 	}
 	for _, t := range tenants {
 		out := Tenant{
-			Name: t.name, Mode: t.mode, Arrival: t.job.Arrival,
+			Name: t.name, Label: t.label, Mode: t.mode, Arrival: t.job.Arrival,
 			Start: t.start, Finish: t.finish, Busy: t.busy,
 			Wait:          t.finish - t.start - t.busy,
 			FirstDispatch: t.firstDispatch, Steps: t.steps,
-			FastBytes: t.fastBytes, SlowBytes: t.slowBytes,
+			FastBytes: t.fast.TotalBytes(), SlowBytes: t.slow.TotalBytes(),
 			Result: t.result,
 		}
 		if totalFast > 0 {
-			out.FastShare = float64(t.fastBytes) / float64(totalFast)
+			out.FastShare = float64(t.fast.TotalBytes()) / float64(totalFast)
 		}
 		res.Tenants = append(res.Tenants, out)
 	}
@@ -399,16 +540,34 @@ func baselineConfig(cfg engine.Config) engine.Config {
 	return cfg
 }
 
-// registerClusterSeries registers the per-tenant fairness series into the
-// cluster-level registry. Names key by job index — tenant names are
-// caller-chosen and may repeat.
-func registerClusterSeries(reg *metrics.Registry, tenants []*tenant) {
-	for i, t := range tenants {
+// registerClusterSeries registers the cluster-level series: per-tenant
+// fairness series (keyed by the tenant's sanitized label — prepare
+// guarantees uniqueness), the shared-tier quota/contention series, the
+// dispatch counter and the shared platform's device series.
+func registerClusterSeries(reg *metrics.Registry, tenants []*tenant,
+	p *memsim.Platform, env *engine.Env, dispatches *int) {
+
+	for _, t := range tenants {
 		t := t
-		pre := fmt.Sprintf("cluster_t%d_", i)
-		reg.CounterFunc(pre+"fast_bytes", func() float64 { return float64(t.fastBytes) })
-		reg.CounterFunc(pre+"slow_bytes", func() float64 { return float64(t.slowBytes) })
+		pre := "cluster_" + t.label + "_"
+		reg.CounterFunc(pre+"fast_bytes", func() float64 { return float64(t.fast.TotalBytes()) })
+		reg.CounterFunc(pre+"slow_bytes", func() float64 { return float64(t.slow.TotalBytes()) })
 		reg.CounterFunc(pre+"busy_seconds", func() float64 { return t.busy })
+		reg.CounterFunc(pre+"wait_seconds", func() float64 {
+			// Time the platform spent on other tenants while this one
+			// was live: the live form of the post-run Wait column.
+			if t.st == nil {
+				return 0
+			}
+			end := p.Clock.Now()
+			if t.finished {
+				end = t.finish
+			}
+			if w := end - t.start - t.busy; w > 0 {
+				return w
+			}
+			return 0
+		})
 		reg.CounterFunc(pre+"events", func() float64 { return float64(t.steps) })
 		reg.Gauge(pre+"active", func() float64 {
 			if t.st != nil && !t.finished {
@@ -417,4 +576,27 @@ func registerClusterSeries(reg *metrics.Registry, tenants []*tenant) {
 			return 0
 		})
 	}
+	reg.Gauge("cluster_active_tenants", func() float64 {
+		n := 0
+		for _, t := range tenants {
+			if t.st != nil && !t.finished {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.CounterFunc("cluster_dispatches", func() float64 { return float64(*dispatches) })
+	quota := func(tier string, q *alloc.Quota) {
+		reg.Gauge("cluster_"+tier+"_quota_used_bytes", func() float64 { return float64(q.Used()) })
+		reg.Gauge("cluster_"+tier+"_quota_avail_bytes", func() float64 { return float64(q.Avail()) })
+		reg.CounterFunc("cluster_"+tier+"_quota_rejections", func() float64 { return float64(q.Rejections()) })
+		reg.CounterFunc("cluster_"+tier+"_quota_rejected_bytes", func() float64 { return float64(q.RejectedBytes()) })
+	}
+	quota("fast", env.FastQuota)
+	quota("slow", env.SlowQuota)
+	// The shared devices' traffic/utilization series: on a multi-tenant
+	// run no solo stepper owns the cluster registry, so the cluster
+	// registers them itself (tenant registries carry their own copy —
+	// same shared devices, separate Registry instances).
+	engine.RegisterPlatformMetrics(reg, p)
 }

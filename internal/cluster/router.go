@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cachedarrays/internal/engine"
+	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/sched"
 )
 
@@ -49,6 +50,11 @@ type RouterConfig struct {
 	// scheduler is safe for concurrent use and single-flights duplicate
 	// solo runs across platforms).
 	Baselines *sched.Scheduler
+	// Metrics, when non-nil, receives the router's placement series:
+	// per-platform placed-job counters and demand gauges plus the
+	// rejection counter. The registry is flushed once after placement —
+	// routing is a pre-pass in real time, not virtual time.
+	Metrics *metrics.Registry
 }
 
 // RouterResult is a routed run's outcome.
@@ -107,6 +113,7 @@ func Route(cfg RouterConfig) (*RouterResult, error) {
 	if err := place(res, jobs, cfg.Platforms, policy); err != nil {
 		return nil, err
 	}
+	registerRouterSeries(cfg.Metrics, res, jobs, len(cfg.Platforms), policy)
 
 	// Group placed jobs per platform, preserving original job order.
 	perPlatform := make([][]Job, len(cfg.Platforms))
@@ -229,6 +236,32 @@ func place(res *RouterResult, jobs []Job, platforms []engine.Config, policy stri
 	}
 	sort.Ints(res.Rejected)
 	return nil
+}
+
+// registerRouterSeries records the placement outcome as metric series and
+// takes one sample: per-platform placed-job counts and aggregate demand,
+// plus the rejection count. A nil registry records nothing.
+func registerRouterSeries(reg *metrics.Registry, res *RouterResult, jobs []Job, platforms int, policy string) {
+	if !reg.Enabled() {
+		return
+	}
+	placed := make([]int, platforms)
+	demand := make([]float64, platforms)
+	for ji, pi := range res.Placement {
+		if pi >= 0 {
+			placed[pi]++
+			demand[pi] += jobs[ji].Model.TotalFLOPs()
+		}
+	}
+	for pi := 0; pi < platforms; pi++ {
+		pi := pi
+		reg.CounterFunc(fmt.Sprintf("router_p%d_placed_jobs", pi), func() float64 { return float64(placed[pi]) })
+		reg.Gauge(fmt.Sprintf("router_p%d_demand_flops", pi), func() float64 { return demand[pi] })
+	}
+	reg.CounterFunc("router_rejected_jobs", func() float64 { return float64(len(res.Rejected)) })
+	reg.SetMeta("mode", "router")
+	reg.SetMeta("model", policy)
+	reg.Flush(0)
 }
 
 // argminLoad returns the least-loaded platform, ties to the lowest index.

@@ -146,6 +146,13 @@ type caStepper struct {
 	chk    *invariants.Checker
 	rm     runMetrics
 	objs   []*dm.Object
+	// sharedTrace marks that tr is the cluster's multiplexed recorder: the
+	// stepper emits into it but does not own it — Finish leaves the events
+	// out of the Result (the owner assembles the full trace) and sources
+	// the trace totals' device traffic from the owner's per-tenant
+	// attribution instead of the whole-platform counters.
+	sharedTrace bool
+	traffic     func() (fr, fw, sr, sw int64)
 
 	// Iteration-loop state.
 	iter               int
@@ -190,9 +197,19 @@ func newCAStepper(model *models.Model, pol policy.Runtime, gc *gcsim.Collector,
 	// default) records nothing and costs the instrumented paths a single
 	// branch each.
 	if cfg.Trace {
-		s.tr = tracing.New(p.Clock.Now)
-		p.Clock.Tracer = s.tr
-		p.Copier.Tracer = s.tr
+		if env.shared() && env.Tracer != nil {
+			// The cluster owns the platform's tracer slot (its mux is
+			// already installed there, tagging events by tenant); this
+			// stepper only threads the shared recorder through its own
+			// layers.
+			s.tr = env.Tracer
+			s.sharedTrace = true
+			s.traffic = env.Traffic
+		} else {
+			s.tr = tracing.New(p.Clock.Now)
+			p.Clock.Tracer = s.tr
+			p.Copier.Tracer = s.tr
+		}
 		m.SetTracer(s.tr)
 		pol.SetTracer(s.tr)
 		gc.SetTracer(s.tr)
@@ -527,6 +544,13 @@ func (s *caStepper) Finish() (*Result, error) {
 			moveByIter[i] = res.Iterations[i].MoveTime
 		}
 		fc, sc := p.Fast.Counters(), p.Slow.Counters()
+		fr, fw, sr, sw := fc.ReadBytes, fc.WriteBytes, sc.ReadBytes, sc.WriteBytes
+		if s.traffic != nil {
+			// Shared platform: whole-platform counters mix every tenant's
+			// traffic; use the owner's per-tenant attribution so this
+			// lane's totals decompose this tenant's events exactly.
+			fr, fw, sr, sw = s.traffic()
+		}
 		s.tr.EmitTotals(tracing.Totals{
 			Copies:          res.DM.Copies,
 			BytesFastToSlow: res.DM.BytesFastToSlow,
@@ -536,14 +560,16 @@ func (s *caStepper) Finish() (*Result, error) {
 			DefragMoves:     res.DM.DefragMoves,
 			FastDevice:      p.Fast.Name,
 			SlowDevice:      p.Slow.Name,
-			FastReadBytes:   fc.ReadBytes,
-			FastWriteBytes:  fc.WriteBytes,
-			SlowReadBytes:   sc.ReadBytes,
-			SlowWriteBytes:  sc.WriteBytes,
+			FastReadBytes:   fr,
+			FastWriteBytes:  fw,
+			SlowReadBytes:   sr,
+			SlowWriteBytes:  sw,
 			MoveTimeByIter:  moveByIter,
 			Async:           s.cfg.AsyncMovement,
 		})
-		res.Trace = s.tr.Events()
+		if !s.sharedTrace {
+			res.Trace = s.tr.Events()
+		}
 	}
 	finishMetrics(s.reg, s.model.Name, s.pol.Name(), p.Clock.Now())
 	s.release()

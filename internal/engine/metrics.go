@@ -12,6 +12,14 @@ import (
 // mover's queue depth and backlog. A nil registry registers nothing.
 // Sampling is wired separately (Env.attachRegistry): the clock drives it
 // on a solo run, the cluster's fan-out hook on a shared platform.
+// RegisterPlatformMetrics exposes the platform series to owners outside
+// the engine: the cluster registers them into its cluster-level registry
+// so a multi-tenant run exports the shared devices' traffic and
+// utilization alongside the per-tenant series.
+func RegisterPlatformMetrics(reg *metrics.Registry, p *memsim.Platform) {
+	registerPlatformMetrics(reg, p)
+}
+
 func registerPlatformMetrics(reg *metrics.Registry, p *memsim.Platform) {
 	if !reg.Enabled() {
 		return

@@ -11,6 +11,7 @@ import (
 	"cachedarrays/internal/models"
 	"cachedarrays/internal/pagemig"
 	"cachedarrays/internal/policy"
+	"cachedarrays/internal/tracing"
 )
 
 // Stepper is the event-driven core of a run: the per-mode execution loops
@@ -62,6 +63,17 @@ type Env struct {
 	// letting it claim the clock's single Metrics attachment; the owner
 	// ticks every registered registry from its fan-out hook.
 	OnRegistry func(*metrics.Registry)
+	// Tracer, when non-nil, is the owner-managed shared recorder (the
+	// cluster's tenant-tagging mux) already installed in the platform's
+	// tracer slot. Traced steppers emit into it instead of claiming the
+	// slot themselves, and leave their events out of their own Result —
+	// the owner assembles the multiplexed trace.
+	Tracer *tracing.Recorder
+	// Traffic, when Tracer is set, returns the device read/write bytes
+	// (fast read, fast write, slow read, slow write) the owner attributed
+	// to the currently-dispatched tenant — the per-tenant replacement for
+	// the whole-platform counters a solo run embeds in its trace totals.
+	Traffic func() (fr, fw, sr, sw int64)
 }
 
 // shared reports whether steppers run on an owner-managed platform.

@@ -3,6 +3,7 @@ package metrics
 import (
 	"bytes"
 	"math"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -300,5 +301,36 @@ func TestHistogramBuckets(t *testing.T) {
 	s := h.snapshot()
 	if s.Count != 4 || s.Buckets["0"] != 1 || s.Buckets["0.5"] != 1 || s.Buckets["2"] != 2 {
 		t.Fatalf("histogram snapshot = %+v", s)
+	}
+}
+
+// TestHubServesTenantLabels: a registry registered with an explicit label
+// string is served with those labels verbatim, while plainly registered
+// registries keep the default run label — the cluster's per-tenant export.
+func TestHubServesTenantLabels(t *testing.T) {
+	h := NewHub()
+	cluster := New(0)
+	cluster.Gauge("cluster_active_tenants", func() float64 { return 2 })
+	cluster.Flush(0)
+	h.Register("cluster", cluster)
+
+	tenant := New(0)
+	tenant.Gauge("engine_iterations", func() float64 { return 3 })
+	tenant.Flush(0)
+	h.RegisterLabeled("cluster/mix0-ca_lm", `run="cluster",tenant="mix0-ca_lm"`, tenant)
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+
+	if !strings.Contains(body, `ca_engine_iterations{run="cluster",tenant="mix0-ca_lm"} 3`) {
+		t.Errorf("tenant series lost its explicit labels:\n%s", body)
+	}
+	if !strings.Contains(body, `ca_cluster_active_tenants{run="cluster"} 2`) {
+		t.Errorf("cluster series lost the default run label:\n%s", body)
+	}
+	if strings.Contains(body, `tenant="mix0-ca_lm",tenant=`) {
+		t.Errorf("labels doubled:\n%s", body)
 	}
 }

@@ -83,6 +83,10 @@ type Hub struct {
 	mu   sync.Mutex
 	keys []string // registration order
 	runs map[string]*Registry
+	// labels holds explicit Prometheus label strings for registries
+	// registered via RegisterLabeled (e.g. `run="cluster",tenant="mix0"`);
+	// they are served verbatim, overriding the default run label.
+	labels map[string]string
 }
 
 // activeHub is the hub the process-wide expvar variable reads from; the
@@ -124,6 +128,23 @@ func (h *Hub) Register(name string, r *Registry) {
 	h.runs[name] = r
 }
 
+// RegisterLabeled adds a run's registry with an explicit Prometheus label
+// string (rendered verbatim inside {...} on every series), overriding the
+// default run label. The cluster registers per-tenant registries this way
+// so the endpoint serves `run="...",tenant="..."`-labeled series.
+func (h *Hub) RegisterLabeled(name, labels string, r *Registry) {
+	if h == nil || r == nil {
+		return
+	}
+	h.Register(name, r)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.labels == nil {
+		h.labels = map[string]string{}
+	}
+	h.labels[name] = labels
+}
+
 // Summaries returns every registered run's summary, keyed by run name.
 func (h *Hub) Summaries() map[string]*Summary {
 	if h == nil {
@@ -161,14 +182,16 @@ func (h *Hub) Handler() http.Handler {
 		h.mu.Lock()
 		keys := append([]string(nil), h.keys...)
 		runs := make([]*Registry, len(keys))
+		lbls := make([]string, len(keys))
 		for i, k := range keys {
 			runs[i] = h.runs[k]
+			lbls[i] = h.labels[k]
 		}
 		single := len(keys) == 1
 		h.mu.Unlock()
 		for i, r := range runs {
-			labels := ""
-			if !single {
+			labels := lbls[i]
+			if labels == "" && !single {
 				labels = fmt.Sprintf("run=%q", keys[i])
 			}
 			r.WritePrometheus(w, labels)

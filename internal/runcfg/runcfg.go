@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 
+	"cachedarrays/internal/cluster"
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/metrics"
 	"cachedarrays/internal/sched"
@@ -216,6 +217,90 @@ func (s *Session) Apply(name string, cfg *engine.Config) func(*engine.Result) er
 	}
 }
 
+// ApplyCluster merges the shared instrumentation into a cluster run's
+// config and returns the completion callback that exports its outputs.
+// It is the cluster-shaped sibling of Apply: -check/-faults/-trace land
+// on the engine config (the cluster validates faults itself), -metrics
+// and friends build the cluster-level registry plus one tenant-labeled
+// registry per tenant, each served live on the hub with
+// run="..."/tenant="..." labels and exported to tenant-suffixed files.
+func (s *Session) ApplyCluster(name string, cfg *cluster.Config) func(*cluster.Result) error {
+	cfg.Engine.CheckEveryAdvance = cfg.Engine.CheckEveryAdvance || s.flags.Check
+	if s.flags.Faults != "" {
+		cfg.Engine.FaultSpec = s.flags.Faults
+	}
+	if s.flags.Trace != "" {
+		cfg.Engine.Trace = true
+	}
+	multi := len(cfg.Jobs) > 1
+	var reg *metrics.Registry
+	var tenantLabels []string
+	tenantRegs := map[string]*metrics.Registry{}
+	if s.flags.metricsWanted() {
+		reg = metrics.New(s.flags.MetricsInterval)
+		reg.SetMeta("run", name)
+		cfg.Engine.Metrics = reg
+		s.hub.Register(name, reg)
+		if multi {
+			cfg.TenantMetrics = func(label string) *metrics.Registry {
+				r := metrics.New(s.flags.MetricsInterval)
+				r.SetMeta("run", name)
+				r.SetMeta("tenant", label)
+				s.hub.RegisterLabeled(name+"/"+label,
+					fmt.Sprintf("run=%q,tenant=%q", name, label), r)
+				s.mu.Lock()
+				tenantLabels = append(tenantLabels, label)
+				tenantRegs[label] = r
+				s.mu.Unlock()
+				return r
+			}
+		}
+	}
+	return func(r *cluster.Result) error {
+		if s.flags.Trace != "" {
+			if len(r.Tenants) == 1 {
+				// N=1 keeps the solo trace on the tenant's own result
+				// (byte-identical to the solo engine run).
+				if err := s.writeTrace(name, r.Tenants[0].Result); err != nil {
+					return err
+				}
+			} else if err := s.writeClusterTrace(name, r.Trace); err != nil {
+				return err
+			}
+		}
+		if reg != nil {
+			if err := s.writeMetrics(name, reg); err != nil {
+				return err
+			}
+			for _, label := range tenantLabels {
+				// Tenant files always carry the tenant suffix, whatever
+				// the session's multi-run setting — they coexist with
+				// the cluster-level files by construction.
+				csv := suffix(s.path(s.flags.Metrics, name), label)
+				sum := suffix(s.path(s.flags.MetricsSummary, name), label)
+				if err := s.writeMetricsPaths(csv, sum, tenantRegs[label]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// Registry creates, names and hub-registers a registry for auxiliary
+// series outside any engine run (e.g. the router's placement counters).
+// It returns nil — a valid, disabled registry — when no metrics sink was
+// requested.
+func (s *Session) Registry(name string) *metrics.Registry {
+	if !s.flags.metricsWanted() {
+		return nil
+	}
+	reg := metrics.New(s.flags.MetricsInterval)
+	reg.SetMeta("run", name)
+	s.hub.Register(name, reg)
+	return reg
+}
+
 // path suffixes an output path with the run name for multi-run sessions:
 // out.csv + fig7-vgg_116-30 -> out-fig7-vgg_116-30.csv.
 func (s *Session) path(base, name string) string {
@@ -224,6 +309,12 @@ func (s *Session) path(base, name string) string {
 	}
 	ext := filepath.Ext(base)
 	return strings.TrimSuffix(base, ext) + "-" + name + ext
+}
+
+// suffix appends a suffix to a path before its extension, unconditionally.
+func suffix(base, sfx string) string {
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "-" + sfx + ext
 }
 
 // writeTrace exports a run's execution trace, verifying first that it is
@@ -240,15 +331,32 @@ func (s *Session) writeTrace(name string, r *engine.Result) error {
 	if err := tracing.Verify(r.Trace); err != nil {
 		return err
 	}
-	path := s.path(s.flags.Trace, name)
+	return s.writeTraceFile(s.path(s.flags.Trace, name), r.Trace)
+}
+
+// writeClusterTrace exports a multi-tenant run's multiplexed trace after
+// verifying every tenant lane and the cross-tenant traffic partition.
+func (s *Session) writeClusterTrace(name string, events []tracing.Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("-trace: cluster run produced no trace")
+	}
+	if err := tracing.VerifyLanes(events); err != nil {
+		return err
+	}
+	return s.writeTraceFile(s.path(s.flags.Trace, name), events)
+}
+
+// writeTraceFile writes verified events to path in the extension-selected
+// format: .jsonl for the raw event log, Chrome trace-event JSON otherwise.
+func (s *Session) writeTraceFile(path string, events []tracing.Event) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if strings.HasSuffix(path, ".jsonl") {
-		err = tracing.WriteJSONL(f, r.Trace)
+		err = tracing.WriteJSONL(f, events)
 	} else {
-		err = tracing.WriteChrome(f, r.Trace)
+		err = tracing.WriteChrome(f, events)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -257,28 +365,34 @@ func (s *Session) writeTrace(name string, r *engine.Result) error {
 		return err
 	}
 	s.mu.Lock()
-	fmt.Fprintf(s.status, "trace       : %d events -> %s (consistency verified)\n", len(r.Trace), path)
+	fmt.Fprintf(s.status, "trace       : %d events -> %s (consistency verified)\n", len(events), path)
 	s.mu.Unlock()
 	return nil
 }
 
 // writeMetrics exports a run's sampled series (CSV) and summary (JSON).
 func (s *Session) writeMetrics(name string, reg *metrics.Registry) error {
-	if p := s.flags.Metrics; p != "" {
-		if err := writeFile(s.path(p, name), reg.WriteCSV); err != nil {
+	return s.writeMetricsPaths(s.path(s.flags.Metrics, name), s.path(s.flags.MetricsSummary, name), reg)
+}
+
+// writeMetricsPaths is writeMetrics with explicit output paths (tenant
+// exports suffix the session paths themselves).
+func (s *Session) writeMetricsPaths(csvPath, sumPath string, reg *metrics.Registry) error {
+	if s.flags.Metrics != "" {
+		if err := writeFile(csvPath, reg.WriteCSV); err != nil {
 			return err
 		}
 		s.mu.Lock()
-		fmt.Fprintf(s.status, "metrics     : %d samples -> %s\n", reg.Samples(), s.path(p, name))
+		fmt.Fprintf(s.status, "metrics     : %d samples -> %s\n", reg.Samples(), csvPath)
 		s.mu.Unlock()
 	}
-	if p := s.flags.MetricsSummary; p != "" {
+	if s.flags.MetricsSummary != "" {
 		write := func(w io.Writer) error { return metrics.WriteSummary(w, reg.Summarize()) }
-		if err := writeFile(s.path(p, name), write); err != nil {
+		if err := writeFile(sumPath, write); err != nil {
 			return err
 		}
 		s.mu.Lock()
-		fmt.Fprintf(s.status, "metrics     : summary -> %s\n", s.path(p, name))
+		fmt.Fprintf(s.status, "metrics     : summary -> %s\n", sumPath)
 		s.mu.Unlock()
 	}
 	return nil

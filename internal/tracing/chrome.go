@@ -22,6 +22,13 @@ import (
 // Lifecycle events (alloc/free/link/setprimary/destroy) are deliberately
 // left to the JSONL export: they are per-object bookkeeping, not timeline
 // content, and at paper scale they would dominate the render.
+//
+// Multi-tenant (tenant-tagged) traces use a different layout: the
+// platform process keeps one shared track per device — transfers carry
+// their owning tenant in the span name, so cross-tenant copy-engine
+// contention is visible as interleaved ownership on one track — and each
+// tenant gets its own process ("tenant <name>") holding its kernels,
+// stalls, gc, iterations, movement and decision tracks.
 
 // chromeEvent is one trace-event record (Chrome Trace Event Format).
 type chromeEvent struct {
@@ -52,12 +59,30 @@ const (
 	tidStalls     = 2
 	tidGC         = 3
 	tidIterations = 4
+
+	// Tenant processes of a multi-tenant trace start here, one pid per
+	// lane in first-seen order. Each reuses the compute tids above plus
+	// movement/decision tracks at tidTenantMovement/tidTenantDecisions.
+	pidTenantBase      = 10
+	tidTenantMovement  = 5
+	tidTenantDecisions = 6
 )
 
 const usec = 1e6 // seconds -> trace-event microseconds
 
 // WriteChrome writes the events as a Chrome trace-event JSON file.
+// Tenant-tagged (multi-tenant) traces get the per-tenant lane layout;
+// untagged traces get the solo layout.
 func WriteChrome(w io.Writer, events []Event) error {
+	for _, e := range events {
+		if e.Tenant != "" {
+			return writeChromeCluster(w, events)
+		}
+	}
+	return writeChromeSolo(w, events)
+}
+
+func writeChromeSolo(w io.Writer, events []Event) error {
 	var out []chromeEvent
 	meta := func(pid, tid int, key, name string) {
 		out = append(out, chromeEvent{
@@ -156,6 +181,144 @@ func WriteChrome(w io.Writer, events []Event) error {
 				Name: fmt.Sprintf("iteration %d", e.Iter),
 				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
 				Pid: pidCompute, Tid: tidIterations,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// writeChromeCluster renders a tenant-tagged trace: shared device tracks
+// under the platform process (transfer spans named by their owning
+// tenant) plus one process per tenant lane.
+func writeChromeCluster(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	meta := func(pid, tid int, key, name string) {
+		out = append(out, chromeEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(pidPlatform, 0, "process_name", "platform (shared)")
+
+	deviceTid := map[string]int{}
+	devTrack := func(name string) int {
+		if tid, ok := deviceTid[name]; ok {
+			return tid
+		}
+		tid := len(deviceTid) + 1
+		deviceTid[name] = tid
+		meta(pidPlatform, tid, "thread_name", "device "+name)
+		return tid
+	}
+
+	tenantPid := map[string]int{}
+	lane := func(tenant string) int {
+		if pid, ok := tenantPid[tenant]; ok {
+			return pid
+		}
+		pid := pidTenantBase + len(tenantPid)
+		tenantPid[tenant] = pid
+		meta(pid, 0, "process_name", "tenant "+tenant)
+		meta(pid, tidKernels, "thread_name", "kernels")
+		meta(pid, tidStalls, "thread_name", "movement stalls")
+		meta(pid, tidGC, "thread_name", "gc")
+		meta(pid, tidIterations, "thread_name", "iterations")
+		meta(pid, tidTenantMovement, "thread_name", "movement")
+		meta(pid, tidTenantDecisions, "thread_name", "decisions")
+		return pid
+	}
+
+	for _, e := range events {
+		switch e.Kind {
+		case KindXfer:
+			name := fmt.Sprintf("copy %s %s→%s", units.Bytes(e.Bytes), e.From, e.To)
+			if e.Tenant != "" {
+				name = fmt.Sprintf("%s: %s", e.Tenant, name)
+			}
+			out = append(out, chromeEvent{
+				Name: name,
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: pidPlatform, Tid: devTrack(e.To),
+				Args: map[string]any{
+					"tenant": e.Tenant,
+					"bytes":  e.Bytes, "src": e.From, "dst": e.To,
+					"read_threads": e.RThreads, "write_threads": e.WThreads,
+				},
+			})
+			if e.Depth > 0 {
+				out = append(out, chromeEvent{
+					Name: "async mover", Ph: "C", Ts: e.T0 * usec, Pid: pidPlatform,
+					Args: map[string]any{"queue_depth": e.Depth, "backlog_s": e.Backlog},
+				})
+			}
+		case KindCopy:
+			if e.Tenant == "" {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("obj %d %s→%s", e.Obj, e.From, e.To),
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: lane(e.Tenant), Tid: tidTenantMovement,
+				Args: map[string]any{
+					"obj": e.Obj, "bytes": e.Bytes, "cause": e.Cause,
+					"kernel": e.KName, "iter": e.Iter,
+				},
+			})
+		case KindDecision:
+			if e.Tenant == "" {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: e.Op, Ph: "i", Ts: e.T0 * usec, S: "t",
+				Pid: lane(e.Tenant), Tid: tidTenantDecisions,
+				Args: map[string]any{
+					"obj": e.Obj, "bytes": e.Bytes, "cause": e.Cause, "kernel": e.KName,
+				},
+			})
+		case KindKernel:
+			if e.Tenant == "" {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: e.KName, Ph: "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: lane(e.Tenant), Tid: tidKernels,
+				Args: map[string]any{
+					"iter": e.Iter, "compute_s": e.Compute,
+					"memory_bound_s": e.Dur - e.Compute,
+				},
+			})
+		case KindStall:
+			if e.Dur <= 0 || e.Tenant == "" {
+				continue
+			}
+			name := "stall:" + e.Op
+			if e.KName != "" {
+				name += " before " + e.KName
+			}
+			out = append(out, chromeEvent{
+				Name: name, Ph: "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: lane(e.Tenant), Tid: tidStalls,
+				Args: map[string]any{"obj": e.Obj, "iter": e.Iter},
+			})
+		case KindGC:
+			if e.Tenant == "" {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("gc (%d objects, %s)", e.Obj, units.Bytes(e.Bytes)),
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: lane(e.Tenant), Tid: tidGC,
+			})
+		case KindIter:
+			if e.Tenant == "" {
+				continue
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("iteration %d", e.Iter),
+				Ph:   "X", Ts: e.T0 * usec, Dur: e.Dur * usec,
+				Pid: lane(e.Tenant), Tid: tidIterations,
 			})
 		}
 	}

@@ -94,6 +94,11 @@ const (
 	KindRetry Kind = "retry"
 	// KindTotals: the trailing aggregate record Verify checks against.
 	KindTotals Kind = "totals"
+	// KindCluster: the trailing cluster record of a multi-tenant trace:
+	// per-tenant outcomes (spans, fairness, attributed device traffic) and
+	// the whole-platform device counters VerifyLanes checks the per-lane
+	// attribution against.
+	KindCluster Kind = "cluster"
 )
 
 // Event is one trace record. It is a flat union: each Kind uses the fields
@@ -111,6 +116,10 @@ type Event struct {
 	Iter   int    `json:"iter"`
 	Kernel int    `json:"kernel"`
 	KName  string `json:"kname,omitempty"`
+	// Tenant labels the event's trace lane in a multi-tenant cluster run:
+	// the tenant that was dispatched when the event fired. Empty in solo
+	// traces (and on the trailing cluster record, which is cluster-owned).
+	Tenant string `json:"tenant,omitempty"`
 	Obj    uint64 `json:"obj,omitempty"`
 	Bytes  int64  `json:"bytes,omitempty"`
 	RBytes int64  `json:"rbytes,omitempty"`
@@ -131,6 +140,9 @@ type Event struct {
 	Compute float64 `json:"compute,omitempty"`
 	// Totals is only set on the trailing KindTotals event.
 	Totals *Totals `json:"totals,omitempty"`
+	// Cluster is only set on the trailing KindCluster event of a
+	// multi-tenant trace.
+	Cluster *ClusterTotals `json:"cluster,omitempty"`
 }
 
 // Totals is the run's authoritative aggregate record, filled by the engine
@@ -160,6 +172,49 @@ type Totals struct {
 	// Async records whether the run used the asynchronous mover (it
 	// changes how stalls attribute: waits instead of copy durations).
 	Async bool `json:"async,omitempty"`
+}
+
+// TenantTotals is one tenant's authoritative outcome inside a cluster
+// record: its dispatch span, fairness metrics, and the device traffic the
+// dispatcher attributed to its windows. VerifyLanes cross-checks the
+// attributed byte counters against the tenant's own lane Totals, and the
+// sum over tenants against the cluster's whole-platform counters.
+type TenantTotals struct {
+	Name    string  `json:"name"`
+	Mode    string  `json:"mode"`
+	Arrival float64 `json:"arrival"`
+	Start   float64 `json:"start"`
+	Finish  float64 `json:"finish"`
+	Busy    float64 `json:"busy"`
+	Wait    float64 `json:"wait"`
+	Steps   int     `json:"steps"`
+	// Fairness metrics (zero when the cluster ran without baselines).
+	SoloTime         float64 `json:"solo_time,omitempty"`
+	Slowdown         float64 `json:"slowdown,omitempty"`
+	InducedEvictions int64   `json:"induced_evictions"`
+	// Device traffic attributed to this tenant's dispatch windows
+	// (counter deltas measured around every Step/setup the dispatcher ran
+	// for it — one tenant runs at a time, so the deltas are exact).
+	FastReadBytes  int64 `json:"fast_read_bytes"`
+	FastWriteBytes int64 `json:"fast_write_bytes"`
+	SlowReadBytes  int64 `json:"slow_read_bytes"`
+	SlowWriteBytes int64 `json:"slow_write_bytes"`
+}
+
+// ClusterTotals is the trailing record of a multi-tenant trace: every
+// tenant's outcome plus the whole-platform device counters the per-tenant
+// attribution must sum to exactly.
+type ClusterTotals struct {
+	Tenants []TenantTotals `json:"tenants"`
+	// Whole-platform device counters at the end of the run.
+	FastDevice     string  `json:"fast_device"`
+	SlowDevice     string  `json:"slow_device"`
+	FastReadBytes  int64   `json:"fast_read_bytes"`
+	FastWriteBytes int64   `json:"fast_write_bytes"`
+	SlowReadBytes  int64   `json:"slow_read_bytes"`
+	SlowWriteBytes int64   `json:"slow_write_bytes"`
+	Makespan       float64 `json:"makespan"`
+	Dispatches     int     `json:"dispatches"`
 }
 
 // eventChunkSize is the fixed capacity of one pooled event chunk. Events
@@ -205,6 +260,7 @@ type Recorder struct {
 	kernel int
 	kname  string
 	hint   string
+	tenant string
 }
 
 // New creates a recorder stamping events with the given virtual-time
@@ -256,6 +312,7 @@ func (r *Recorder) Events() []Event {
 // never a grow-and-copy of the whole log.
 func (r *Recorder) emit(e Event) {
 	e.Iter, e.Kernel, e.KName = r.iter, r.kernel, r.kname
+	e.Tenant = r.tenant
 	if e.T0 == 0 && e.T1 == 0 && r.now != nil {
 		e.T0 = r.now()
 	}

@@ -71,6 +71,117 @@ func FindTotals(events []Event) *Totals {
 	return nil
 }
 
+// FindCluster returns the trace's trailing cluster record, or nil when
+// the trace has none (solo traces never do).
+func FindCluster(events []Event) *ClusterTotals {
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Kind == KindCluster && events[i].Cluster != nil {
+			return events[i].Cluster
+		}
+	}
+	return nil
+}
+
+// Lanes splits a multiplexed trace by tenant tag, preserving event order
+// within each lane. The returned names are in first-seen order; untagged
+// events (cluster-owned: the trailing cluster record, clock advances
+// outside any dispatch window) are dropped. A solo (untagged) trace
+// yields no lanes.
+func Lanes(events []Event) (names []string, lanes map[string][]Event) {
+	lanes = map[string][]Event{}
+	for _, e := range events {
+		if e.Tenant == "" {
+			continue
+		}
+		if _, ok := lanes[e.Tenant]; !ok {
+			names = append(names, e.Tenant)
+		}
+		lanes[e.Tenant] = append(lanes[e.Tenant], e)
+	}
+	return names, lanes
+}
+
+// VerifyLanes is Verify for multiplexed multi-tenant traces. For an
+// untagged trace it defers to Verify. For a tagged trace it checks:
+//
+//   - every lane that carries its own totals record verifies standalone
+//     (the lane is an exact decomposition of that tenant's aggregates);
+//   - the trailing cluster record exists, and each lane's totals agree
+//     with the cluster record's per-tenant attributed device traffic;
+//   - the per-tenant attributed traffic partitions the whole-platform
+//     device counters exactly (Σ tenants == platform, bit-exact) — this
+//     check is mode-independent and holds even for tenants whose modes
+//     emit no per-event traffic records.
+//
+// Lanes without a totals record (non-CA modes trace no dm/kio events)
+// are covered by the partition check only.
+func VerifyLanes(events []Event) error {
+	names, lanes := Lanes(events)
+	if len(names) == 0 {
+		return Verify(events)
+	}
+	c := FindCluster(events)
+	if c == nil {
+		return fmt.Errorf("tracing: multi-tenant trace has no cluster record")
+	}
+	byName := map[string]*TenantTotals{}
+	for i := range c.Tenants {
+		byName[c.Tenants[i].Name] = &c.Tenants[i]
+	}
+	for _, name := range names {
+		lane := lanes[name]
+		tt := byName[name]
+		if tt == nil {
+			return fmt.Errorf("tracing: lane %q has no tenant record in the cluster totals", name)
+		}
+		t := FindTotals(lane)
+		if t == nil {
+			continue // mode traces no aggregates; partition check still covers it
+		}
+		if err := Verify(lane); err != nil {
+			return fmt.Errorf("tracing: lane %q: %w", name, err)
+		}
+		attr := []struct {
+			name      string
+			got, want int64
+		}{
+			{"fast read bytes", t.FastReadBytes, tt.FastReadBytes},
+			{"fast write bytes", t.FastWriteBytes, tt.FastWriteBytes},
+			{"slow read bytes", t.SlowReadBytes, tt.SlowReadBytes},
+			{"slow write bytes", t.SlowWriteBytes, tt.SlowWriteBytes},
+		}
+		for _, a := range attr {
+			if a.got != a.want {
+				return fmt.Errorf("tracing: lane %q %s: lane totals say %d, cluster attribution says %d",
+					name, a.name, a.got, a.want)
+			}
+		}
+	}
+	var fr, fw, sr, sw int64
+	for _, tt := range c.Tenants {
+		fr += tt.FastReadBytes
+		fw += tt.FastWriteBytes
+		sr += tt.SlowReadBytes
+		sw += tt.SlowWriteBytes
+	}
+	part := []struct {
+		name      string
+		got, want int64
+	}{
+		{"fast read bytes", fr, c.FastReadBytes},
+		{"fast write bytes", fw, c.FastWriteBytes},
+		{"slow read bytes", sr, c.SlowReadBytes},
+		{"slow write bytes", sw, c.SlowWriteBytes},
+	}
+	for _, p := range part {
+		if p.got != p.want {
+			return fmt.Errorf("tracing: cluster %s: tenants sum to %d, platform counted %d",
+				p.name, p.got, p.want)
+		}
+	}
+	return nil
+}
+
 // Verify checks that the trace is an exact decomposition of the run's
 // published aggregates: summed per-event copy bytes equal the data
 // manager's movement counters, summed transfer and kernel traffic equals
