@@ -1,0 +1,374 @@
+// Fleet-scale cluster benchmark: the BenchMix tiny-job mix dispatched on
+// one shared platform at N = 4, 16, 64, 128 tenants, written
+// machine-readably to BENCH_cluster.json:
+//
+//	go test -run '^$' -bench BenchmarkCluster .
+//
+// Three series share the artifact:
+//
+//   - fleet: per-N wall-clock and dispatches/sec, cold (empty result
+//     cache) vs warm (fresh Cache instance over the same directory, so
+//     every hit pays the disk load + integrity check), plus an
+//     end-to-end heap-vs-scan pair proven byte-identical before either
+//     timing is trusted.
+//   - pick: the dispatch-selection microbenchmark — ns per pick for the
+//     production heap vs the linear-scan reference on synthetic tenants,
+//     simulation excluded. End-to-end times are dominated by Step(), so
+//     this is the series the CI heap-vs-scan floor gates at N >= 64.
+//   - router: the M=4 routed fan-out at workers=1 vs workers=4 — the
+//     scheduler-level scaling number (gated on multi-core runners only).
+package cachedarrays
+
+import (
+	"container/heap"
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"cachedarrays/internal/cluster"
+	"cachedarrays/internal/engine"
+	"cachedarrays/internal/sched"
+	"cachedarrays/internal/units"
+)
+
+// clusterBenchConfig is the shared platform every fleet row runs on: a
+// deliberately tight fast tier, so at fleet scale the tenants genuinely
+// contend — eviction and movement churn is what makes the cold pass cost
+// real simulation time (and the cache worth having).
+var clusterBenchConfig = engine.Config{
+	FastCapacity: 16 * units.MB,
+	SlowCapacity: 2 * units.GB,
+	Iterations:   24,
+}
+
+type clusterBenchResult struct {
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Fleet      []fleetPoint       `json:"fleet"`
+	Pick       []pickPoint        `json:"pick"`
+	Router     routerScalingPoint `json:"router"`
+}
+
+type fleetPoint struct {
+	Tenants    int `json:"tenants"`
+	Dispatches int `json:"dispatches"`
+	// HeapSeconds/ScanSeconds are fresh uncached simulations through the
+	// production heap dispatcher and the linear-scan reference;
+	// Identical records that the two results were reflect.DeepEqual
+	// before either timing was reported.
+	HeapSeconds    float64 `json:"heap_s"`
+	ScanSeconds    float64 `json:"scan_s"`
+	HeapVsScanX    float64 `json:"heap_vs_scan_x"`
+	Identical      bool    `json:"identical"`
+	DispatchPerSec float64 `json:"dispatch_per_s"`
+	// Cold/Warm time the memoized path against one on-disk cache
+	// directory: cold simulates and stores, warm decodes from disk.
+	ColdSeconds  float64 `json:"cold_s"`
+	WarmSeconds  float64 `json:"warm_s"`
+	WarmSpeedupX float64 `json:"warm_speedup_x"`
+}
+
+type pickPoint struct {
+	Tenants       int     `json:"tenants"`
+	HeapNsPerPick float64 `json:"heap_ns_per_pick"`
+	ScanNsPerPick float64 `json:"scan_ns_per_pick"`
+	HeapVsScanX   float64 `json:"heap_vs_scan_x"`
+}
+
+type routerScalingPoint struct {
+	Platforms        int     `json:"platforms"`
+	Jobs             int     `json:"jobs"`
+	Workers          int     `json:"workers"`
+	SerialSeconds    float64 `json:"serial_s"`
+	ParallelSeconds  float64 `json:"parallel_s"`
+	ParallelSpeedupX float64 `json:"parallel_speedup_x"`
+}
+
+// fleetSizes is the tenant-count series. The mix seed is fixed: the same
+// jobs every run, so artifact rows are comparable across commits.
+var fleetSizes = []int{4, 16, 64, 128}
+
+const fleetSeed = 42
+
+// BenchmarkCluster measures the whole fleet series end to end. One
+// invocation performs the full measurement; the b.N loop only repeats it.
+func BenchmarkCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := clusterBenchResult{GOMAXPROCS: runtime.GOMAXPROCS(0)}
+		for _, n := range fleetSizes {
+			res.Fleet = append(res.Fleet, fleetRow(b, n))
+		}
+		for _, n := range fleetSizes {
+			res.Pick = append(res.Pick, pickRow(n))
+		}
+		res.Router = routerRow(b)
+
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_cluster.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range res.Fleet {
+			b.Logf("N=%d: heap %.3fs scan %.3fs (%.2fx) %.0f dispatch/s, cold %.3fs warm %.3fs (%.1fx)",
+				f.Tenants, f.HeapSeconds, f.ScanSeconds, f.HeapVsScanX, f.DispatchPerSec,
+				f.ColdSeconds, f.WarmSeconds, f.WarmSpeedupX)
+		}
+		for _, p := range res.Pick {
+			b.Logf("pick N=%d: heap %.1fns scan %.1fns (%.2fx)",
+				p.Tenants, p.HeapNsPerPick, p.ScanNsPerPick, p.HeapVsScanX)
+		}
+		b.Logf("router M=%d: serial %.3fs workers=%d %.3fs (%.2fx)",
+			res.Router.Platforms, res.Router.SerialSeconds, res.Router.Workers,
+			res.Router.ParallelSeconds, res.Router.ParallelSpeedupX)
+	}
+}
+
+// fleetRow measures one tenant count: byte-identity first, then the four
+// timings.
+func fleetRow(b *testing.B, n int) fleetPoint {
+	cfg := cluster.Config{Engine: clusterBenchConfig, Jobs: cluster.BenchMix(fleetSeed, n)}
+	row := fleetPoint{Tenants: n}
+
+	start := time.Now()
+	heapRes, err := cluster.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row.HeapSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	scanRes, err := cluster.RunScanReference(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row.ScanSeconds = time.Since(start).Seconds()
+
+	row.Identical = reflect.DeepEqual(heapRes, scanRes)
+	if !row.Identical {
+		b.Fatalf("N=%d: heap dispatch result differs from scan reference", n)
+	}
+	row.Dispatches = heapRes.Dispatches
+	if row.HeapSeconds > 0 {
+		row.DispatchPerSec = float64(heapRes.Dispatches) / row.HeapSeconds
+		row.HeapVsScanX = row.ScanSeconds / row.HeapSeconds
+	}
+
+	dir := b.TempDir()
+	cold, err := sched.OpenCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldCfg := cfg
+	coldCfg.Sched = &sched.Scheduler{Cache: cold}
+	start = time.Now()
+	if _, err := cluster.Run(coldCfg); err != nil {
+		b.Fatal(err)
+	}
+	row.ColdSeconds = time.Since(start).Seconds()
+
+	// Warm: best of three passes, each through a fresh Cache instance so
+	// every pass pays the full disk load + integrity check + decode (no
+	// in-memory map hit). Min-of-3 is the steady-state read the CI floor
+	// gates on — a single pass is at the mercy of one slow disk op.
+	for pass := 0; pass < 3; pass++ {
+		warm, err := sched.OpenCache(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warmCfg := cfg
+		warmCfg.Sched = &sched.Scheduler{Cache: warm}
+		start = time.Now()
+		warmRes, err := cluster.Run(warmCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs := time.Since(start).Seconds()
+		if pass == 0 || secs < row.WarmSeconds {
+			row.WarmSeconds = secs
+		}
+		if st := warm.Stats(); st.Hits == 0 || st.Misses != 0 {
+			b.Fatalf("N=%d: warm pass was not fully cached: %+v", n, st)
+		}
+		if !reflect.DeepEqual(warmRes, heapRes) {
+			b.Fatalf("N=%d: warm cache hit differs from fresh simulation", n)
+		}
+	}
+	if row.WarmSeconds > 0 {
+		row.WarmSpeedupX = row.ColdSeconds / row.WarmSeconds
+	}
+	return row
+}
+
+// pickRow times dispatch selection alone — peek + bump/sift or finish —
+// on synthetic tenants, no simulation. This isolates the O(log N) vs
+// O(N) difference the heap exists for, and is the number the CI floor
+// gates: end-to-end times bury it under Step() cost.
+func pickRow(n int) pickPoint {
+	const stepsPer = 16
+	drain := func(q benchQueue) int {
+		picks := 0
+		for {
+			t := q.peek()
+			if t == nil {
+				return picks
+			}
+			picks++
+			if t.steps >= stepsPer {
+				t.finished = true
+				q.remove()
+				continue
+			}
+			t.steps++
+			t.next += 1 + float64(t.idx%7)*0.25
+			q.bumped()
+		}
+	}
+	time1 := func(mk func([]*benchTenant) benchQueue) float64 {
+		// Each pass repeats the whole drain enough times that per-pick cost
+		// is resolvable above timer noise; min-of-3 passes discards warmup
+		// and scheduling hiccups.
+		const rounds = 200
+		best := 0.0
+		for pass := 0; pass < 3; pass++ {
+			totalPicks := 0
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				ts := make([]*benchTenant, n)
+				for i := range ts {
+					ts[i] = &benchTenant{idx: i, next: float64(i % 4)}
+				}
+				totalPicks += drain(mk(ts))
+			}
+			per := float64(time.Since(start).Nanoseconds()) / float64(totalPicks)
+			if pass == 0 || per < best {
+				best = per
+			}
+		}
+		return best
+	}
+	row := pickPoint{Tenants: n}
+	row.HeapNsPerPick = time1(func(ts []*benchTenant) benchQueue { return newBenchHeap(ts) })
+	row.ScanNsPerPick = time1(func(ts []*benchTenant) benchQueue { return &benchScan{ts: ts} })
+	if row.HeapNsPerPick > 0 {
+		row.HeapVsScanX = row.ScanNsPerPick / row.HeapNsPerPick
+	}
+	return row
+}
+
+// benchTenant and the two benchQueue implementations mirror the
+// cluster's dispatch-relevant tenant fields and both of its queue
+// implementations; the real types are package-private, so the
+// microbenchmark carries faithful replicas (the cluster's own
+// differential tests prove the real pair equivalent).
+type benchTenant struct {
+	idx      int
+	steps    int
+	next     float64
+	finished bool
+}
+
+type benchQueue interface {
+	peek() *benchTenant
+	bumped()
+	remove()
+}
+
+type benchHeap struct{ ts []*benchTenant }
+
+func newBenchHeap(ts []*benchTenant) *benchHeap {
+	h := &benchHeap{ts: ts}
+	heap.Init(h)
+	return h
+}
+
+func (h *benchHeap) Len() int { return len(h.ts) }
+func (h *benchHeap) Less(i, j int) bool {
+	a, b := h.ts[i], h.ts[j]
+	if a.next != b.next {
+		return a.next < b.next
+	}
+	return a.idx < b.idx
+}
+func (h *benchHeap) Swap(i, j int) { h.ts[i], h.ts[j] = h.ts[j], h.ts[i] }
+func (h *benchHeap) Push(x any)    { h.ts = append(h.ts, x.(*benchTenant)) }
+func (h *benchHeap) Pop() any {
+	n := len(h.ts) - 1
+	t := h.ts[n]
+	h.ts[n] = nil
+	h.ts = h.ts[:n]
+	return t
+}
+func (h *benchHeap) peek() *benchTenant {
+	if len(h.ts) == 0 {
+		return nil
+	}
+	return h.ts[0]
+}
+func (h *benchHeap) bumped() { heap.Fix(h, 0) }
+func (h *benchHeap) remove() { heap.Pop(h) }
+
+// benchScan matches the real scanQueue: remove is a no-op, the scan just
+// skips tenants the dispatch loop marked finished.
+type benchScan struct{ ts []*benchTenant }
+
+func (q *benchScan) peek() *benchTenant {
+	best := -1
+	for i, t := range q.ts {
+		if t.finished {
+			continue
+		}
+		if best < 0 || t.next < q.ts[best].next {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return q.ts[best]
+}
+func (q *benchScan) bumped() {}
+func (q *benchScan) remove() {}
+
+// routerRow measures the M=4 routed fan-out serial vs parallel,
+// uncached, same placement both times (worker count never changes a
+// byte — the router tests pin that; this row times it).
+func routerRow(b *testing.B) routerScalingPoint {
+	const platforms = 4
+	pcfgs := make([]engine.Config, platforms)
+	for i := range pcfgs {
+		pcfgs[i] = clusterBenchConfig
+	}
+	jobs := cluster.BenchMix(fleetSeed, 128)
+	run := func(workers int) float64 {
+		// Min-of-3: each routed pass is tens of milliseconds, so a single
+		// scheduling hiccup on a busy runner would swamp the comparison.
+		best := 0.0
+		for pass := 0; pass < 3; pass++ {
+			start := time.Now()
+			if _, err := cluster.Route(cluster.RouterConfig{
+				Platforms: pcfgs,
+				Jobs:      jobs,
+				Policy:    cluster.LeastLoaded,
+				Workers:   workers,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			secs := time.Since(start).Seconds()
+			if pass == 0 || secs < best {
+				best = secs
+			}
+		}
+		return best
+	}
+	row := routerScalingPoint{Platforms: platforms, Jobs: len(jobs), Workers: platforms}
+	row.SerialSeconds = run(1)
+	row.ParallelSeconds = run(platforms)
+	if row.ParallelSeconds > 0 {
+		row.ParallelSpeedupX = row.SerialSeconds / row.ParallelSeconds
+	}
+	return row
+}

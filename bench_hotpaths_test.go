@@ -113,7 +113,6 @@ func BenchmarkHotPaths(b *testing.B) {
 	// reference scan is linear in live blocks; the treap descent is
 	// logarithmic, so the gap must widen with the count.
 	for _, live := range []int{1024, 8192, 65536} {
-		live := live
 		pair(fmt.Sprintf("alloc-churn/live=%d", live),
 			func(b *testing.B) { allocChurn(b, alloc.NewFreeList(churnHeap(live), alloc.FirstFit), live) },
 			func(b *testing.B) { allocChurn(b, alloc.NewReference(churnHeap(live), alloc.FirstFit), live) },

@@ -93,7 +93,6 @@ func runMode(b *testing.B, m *models.Model, mode string, cfg engine.Config) *eng
 // time for each large network under each operating mode.
 func BenchmarkFig2IterationTime(b *testing.B) {
 	for _, cell := range fig2Cells() {
-		cell := cell
 		b.Run(fmt.Sprintf("%s/%s", cell.model.Name, cell.mode), func(b *testing.B) {
 			m := cell.model.Build()
 			var r *engine.Result
@@ -160,7 +159,6 @@ func BenchmarkFig4CacheStats(b *testing.B) {
 // read/write volumes for every (model, mode) cell.
 func BenchmarkFig5Traffic(b *testing.B) {
 	for _, cell := range fig2Cells() {
-		cell := cell
 		b.Run(fmt.Sprintf("%s/%s", cell.model.Name, cell.mode), func(b *testing.B) {
 			m := cell.model.Build()
 			var r *engine.Result
@@ -182,7 +180,6 @@ func BenchmarkFig6BusUtilization(b *testing.B) {
 		if cell.model.Name == "DenseNet 264" {
 			continue // Fig. 6 shows ResNet 200 and VGG 416
 		}
-		cell := cell
 		b.Run(fmt.Sprintf("%s/%s", cell.model.Name, cell.mode), func(b *testing.B) {
 			m := cell.model.Build()
 			var r *engine.Result
@@ -227,7 +224,6 @@ func BenchmarkFig7DRAMSweep(b *testing.B) {
 // then decays), also exercising the copy engine's host-side speed.
 func BenchmarkCopyParallelism(b *testing.B) {
 	for _, threads := range []int{1, 2, 4, 8, 16, 28} {
-		threads := threads
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
 			clock := &memsim.Clock{}
 			fast := memsim.NewDevice("dram", memsim.DRAM, units.GB, memsim.DRAMProfile())
@@ -249,7 +245,6 @@ func BenchmarkCopyParallelism(b *testing.B) {
 func BenchmarkFig7AsyncImplementation(b *testing.B) {
 	m := models.DenseNet(264, 504)
 	for _, budget := range []int64{60 * units.GB, 10 * units.GB} {
-		budget := budget
 		b.Run(fmt.Sprintf("dram=%dGB", budget/units.GB), func(b *testing.B) {
 			var sync, async *engine.Result
 			for i := 0; i < b.N; i++ {

@@ -59,13 +59,17 @@ func main() {
 		Iterations:   *iters,
 	}
 	mix := cluster.Mix(*seed, *jobs)
+	// One session scheduler serves everything: the solo fairness
+	// baselines, and the whole-cluster memoization (with -cache, repeated
+	// identical invocations re-serve entire cluster results from disk).
+	runner := sess.Scheduler(os.Stderr)
 	var baselines *sched.Scheduler
 	if !*nobase {
-		baselines = sess.Scheduler(os.Stderr)
+		baselines = runner
 	}
 
 	if *platforms <= 1 {
-		ccfg := cluster.Config{Engine: ecfg, Jobs: mix, Baselines: baselines}
+		ccfg := cluster.Config{Engine: ecfg, Jobs: mix, Baselines: baselines, Sched: runner}
 		finish := sess.ApplyCluster("cluster", &ccfg)
 		res, err := cluster.Run(ccfg)
 		fatal(err)
@@ -90,6 +94,7 @@ func main() {
 		Policy:    *policy,
 		Workers:   shared.Parallel,
 		Baselines: baselines,
+		Sched:     runner,
 		Metrics:   sess.Registry("router"),
 	})
 	fatal(err)

@@ -248,18 +248,61 @@ func cmdDiff(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	fmt.Fprintf(stdout, "%d deltas above %.3g%% (%s -> %s):\n", len(deltas), 100**rel, fs.Arg(0), fs.Arg(1))
-	for _, d := range deltas {
-		switch d.Stat {
-		case "added":
-			fmt.Fprintf(stdout, "  %-40s series only in %s (last %.6g)\n", d.Series, fs.Arg(1), d.New)
-		case "missing":
-			fmt.Fprintf(stdout, "  %-40s series only in %s (last %.6g)\n", d.Series, fs.Arg(0), d.Old)
-		default:
-			fmt.Fprintf(stdout, "  %-40s %-5s %.6g -> %.6g (%+.2f%%)\n",
-				d.Series, d.Stat, d.Old, d.New, 100*(d.New-d.Old)/math.Max(math.Abs(d.Old), math.Abs(d.New)))
+	for _, g := range groupDeltas(deltas) {
+		fmt.Fprintf(stdout, "%s (%d):\n", g.name, len(g.deltas))
+		for _, d := range g.deltas {
+			switch d.Stat {
+			case "added":
+				fmt.Fprintf(stdout, "  %-40s series only in %s (last %.6g)\n", d.Series, fs.Arg(1), d.New)
+			case "missing":
+				fmt.Fprintf(stdout, "  %-40s series only in %s (last %.6g)\n", d.Series, fs.Arg(0), d.Old)
+			default:
+				fmt.Fprintf(stdout, "  %-40s %-5s %.6g -> %.6g (%+.2f%%)\n",
+					d.Series, d.Stat, d.Old, d.New, 100*(d.New-d.Old)/math.Max(math.Abs(d.Old), math.Abs(d.New)))
+			}
 		}
 	}
 	return 1
+}
+
+// deltaGroup is one prefix family of the diff report.
+type deltaGroup struct {
+	name   string
+	deltas []metrics.Delta
+}
+
+// seriesGroup classifies a series name by its prefix family: the cluster
+// fairness/quota series (cluster_*), the router placement series
+// (router_*), and everything else — the engine's solo series. A cluster
+// summary mixes all three, so the flat delta list interleaved unrelated
+// subsystems; the grouped report keeps each family under its own header.
+func seriesGroup(series string) string {
+	switch {
+	case strings.HasPrefix(series, "cluster_"):
+		return "cluster_*"
+	case strings.HasPrefix(series, "router_"):
+		return "router_*"
+	default:
+		return "engine"
+	}
+}
+
+// groupDeltas partitions the deltas by prefix family, preserving Diff's
+// (series, stat) order inside each group. Group order is fixed —
+// cluster, router, engine — and empty groups are omitted.
+func groupDeltas(deltas []metrics.Delta) []deltaGroup {
+	byName := map[string][]metrics.Delta{}
+	for _, d := range deltas {
+		g := seriesGroup(d.Series)
+		byName[g] = append(byName[g], d)
+	}
+	var out []deltaGroup
+	for _, name := range []string{"cluster_*", "router_*", "engine"} {
+		if ds := byName[name]; len(ds) > 0 {
+			out = append(out, deltaGroup{name: name, deltas: ds})
+		}
+	}
+	return out
 }
 
 // filterSummary restricts a summary to the selected run and tenant before

@@ -234,3 +234,69 @@ func TestUsageAndBadInputs(t *testing.T) {
 		})
 	}
 }
+
+// TestDiffGroupsByPrefix: a summary mixing cluster, router and engine
+// series reports its deltas under per-family headers, in fixed
+// cluster/router/engine order, each series under its own family — and
+// families with no deltas print no header.
+func TestDiffGroupsByPrefix(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSummary(t, dir, "base.json", "grouped", "", map[string]float64{
+		"cluster_a_fast_bytes":  100,
+		"cluster_dispatches":    7,
+		"router_rejected_jobs":  0,
+		"router_p0_placed_jobs": 3,
+		"engine_iterations":     2,
+	})
+	cur := writeSummary(t, dir, "cur.json", "grouped", "", map[string]float64{
+		"cluster_a_fast_bytes":  150, // moved
+		"cluster_dispatches":    7,
+		"router_rejected_jobs":  2, // moved
+		"router_p0_placed_jobs": 3,
+		"engine_iterations":     4, // moved
+	})
+	code, out, _ := runCLI("diff", "-rel", "0.05", base, cur)
+	if code != 1 {
+		t.Fatalf("grouped diff: exit %d, want 1\nstdout: %s", code, out)
+	}
+	ci := strings.Index(out, "cluster_* (")
+	ri := strings.Index(out, "router_* (")
+	ei := strings.Index(out, "engine (")
+	if ci < 0 || ri < 0 || ei < 0 {
+		t.Fatalf("missing group headers:\n%s", out)
+	}
+	if !(ci < ri && ri < ei) {
+		t.Fatalf("groups out of order (cluster=%d router=%d engine=%d):\n%s", ci, ri, ei, out)
+	}
+	// Each moved series sits inside its own group's section.
+	section := func(from, to int) string {
+		if to < 0 {
+			return out[from:]
+		}
+		return out[from:to]
+	}
+	if s := section(ci, ri); !strings.Contains(s, "cluster_a_fast_bytes") || strings.Contains(s, "router_") {
+		t.Errorf("cluster section wrong:\n%s", s)
+	}
+	if s := section(ri, ei); !strings.Contains(s, "router_rejected_jobs") || strings.Contains(s, "cluster_") {
+		t.Errorf("router section wrong:\n%s", s)
+	}
+	if s := section(ei, -1); !strings.Contains(s, "engine_iterations") {
+		t.Errorf("engine section wrong:\n%s", s)
+	}
+
+	// Only the engine series moves: no cluster/router headers at all.
+	base2 := writeSummary(t, dir, "base2.json", "grouped", "", map[string]float64{
+		"cluster_a_fast_bytes": 100, "engine_iterations": 2,
+	})
+	cur2 := writeSummary(t, dir, "cur2.json", "grouped", "", map[string]float64{
+		"cluster_a_fast_bytes": 100, "engine_iterations": 4,
+	})
+	code, out, _ = runCLI("diff", "-rel", "0.05", base2, cur2)
+	if code != 1 {
+		t.Fatalf("engine-only diff: exit %d, want 1\nstdout: %s", code, out)
+	}
+	if strings.Contains(out, "cluster_* (") || strings.Contains(out, "router_* (") {
+		t.Errorf("empty groups printed headers:\n%s", out)
+	}
+}

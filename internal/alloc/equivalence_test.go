@@ -110,7 +110,6 @@ func runEquivalenceTrace(t *testing.T, fit Fit, seed int64, ops int) {
 // like the seed O(n)-scan allocator under both fit policies.
 func TestFreeListMatchesReferenceQuick(t *testing.T) {
 	for _, fit := range []Fit{FirstFit, BestFit} {
-		fit := fit
 		t.Run(fit.String(), func(t *testing.T) {
 			prop := func(seed int64) bool {
 				runEquivalenceTrace(t, fit, seed, 300)

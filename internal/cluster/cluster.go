@@ -89,6 +89,14 @@ type Config struct {
 	// dropped, and the caller exports them with tenant="..." labels. The
 	// cluster's fan-out hook drives sampling.
 	TenantMetrics func(label string) *metrics.Registry
+	// Sched, when non-nil, memoizes the whole cluster run through the
+	// scheduler's content-addressed result cache and single-flight group:
+	// an identical (platform, job list, baselines) run is served
+	// reflect.DeepEqual-identical from the cache instead of re-simulated,
+	// and concurrent identical runs simulate once. Instrumented runs —
+	// tracing, fault injection, invariant audits, metrics (cluster-level
+	// or TenantMetrics) — always bypass, exactly like solo engine cells.
+	Sched *sched.Scheduler
 }
 
 // Tenant is one job's outcome and fairness metrics.
@@ -161,6 +169,9 @@ type Result struct {
 
 // tenant is the dispatch loop's per-job state.
 type tenant struct {
+	// idx is the job's submission index: the dispatch tie-breaker (equal
+	// timestamps run in job order) and the key the heap orders by.
+	idx  int
 	name string
 	// label is the sanitized (filesystem/label/series-safe) form of name:
 	// the tenant's identity in metric series names, Prometheus labels and
@@ -192,12 +203,47 @@ type tenant struct {
 	result *engine.Result
 }
 
-// Run executes the cluster: all jobs on one shared platform.
+// Run executes the cluster: all jobs on one shared platform. When
+// cfg.Sched is set and the run carries no instrumentation, the whole
+// cluster result is memoized in the scheduler's content-addressed cache
+// (see Key) and concurrent identical runs are single-flighted.
 func Run(cfg Config) (*Result, error) {
 	tenants, ecfg, err := prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if key := cacheKey(cfg, tenants, ecfg); key != "" {
+		v, _, err := cfg.Sched.Memo(key, decodeResult, func() (any, error) {
+			return simulate(cfg, tenants, ecfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return v.(*Result), nil
+	}
+	return simulate(cfg, tenants, ecfg)
+}
+
+// RunScanReference executes the cluster with the pre-heap O(N)
+// linear-scan dispatcher kept as the executable reference (the
+// alloc.Reference pattern). It always simulates — no cache, no single
+// flight — so differential tests and the BENCH_cluster heap-vs-scan
+// series compare two fresh simulations.
+func RunScanReference(cfg Config) (*Result, error) {
+	tenants, ecfg, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return simulateQueued(cfg, tenants, ecfg, newScanQueue(tenants))
+}
+
+// simulate is the uncached execution path: one fresh simulation through
+// the production heap dispatcher.
+func simulate(cfg Config, tenants []*tenant, ecfg engine.Config) (*Result, error) {
+	return simulateQueued(cfg, tenants, ecfg, newTenantHeap(tenants))
+}
+
+func simulateQueued(cfg Config, tenants []*tenant, ecfg engine.Config, q dispatchQueue) (*Result, error) {
 	multi := len(tenants) > 1
 	p, release := engine.AcquirePlatform(ecfg)
 	var mux *tracing.Mux
@@ -213,7 +259,7 @@ func Run(cfg Config) (*Result, error) {
 		p.Clock.Tracer = mux.Recorder()
 		p.Copier.Tracer = mux.Recorder()
 	}
-	if err := dispatch(tenants, ecfg, p, mux); err != nil {
+	if err := dispatch(tenants, ecfg, p, mux, q); err != nil {
 		return nil, err // abandon the platform in its failed state
 	}
 	res := collect(tenants, p.Clock.Now())
@@ -359,7 +405,7 @@ func prepare(cfg Config) ([]*tenant, engine.Config, error) {
 			return nil, ecfg, fmt.Errorf("cluster: job %d: negative arrival %g", i, j.Arrival)
 		}
 		tenants[i] = &tenant{
-			name: name, label: label, mode: mode, model: m, cfg: jobCfg, job: j,
+			idx: i, name: name, label: label, mode: mode, model: m, cfg: jobCfg, job: j,
 			next: j.Arrival,
 		}
 	}
@@ -368,9 +414,13 @@ func prepare(cfg Config) ([]*tenant, engine.Config, error) {
 
 // dispatch is the timestamp-ordered event loop: repeatedly run the
 // unfinished tenant with the smallest private timestamp (ties broken by
-// job index — the loop scans in index order and strictly-smaller wins),
-// until every tenant has finished.
-func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform, mux *tracing.Mux) error {
+// job index), until every tenant has finished. Selection comes from the
+// queue — the production heap or the linear-scan reference, which the
+// differential tests prove interchangeable. The per-dispatch hot path is
+// allocation-free: the queue is pre-sized, counter snapshots are value
+// copies, and the only closures (traffic attribution, the clock's hook
+// fan-out) are built once per run, never per step.
+func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform, mux *tracing.Mux, q dispatchQueue) error {
 	env := &engine.Env{
 		Platform:  p,
 		FastQuota: alloc.NewQuota(p.Fast.Capacity),
@@ -408,19 +458,10 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform, mux *tr
 	}
 
 	for {
-		best := -1
-		for i, t := range tenants {
-			if t.finished {
-				continue
-			}
-			if best < 0 || t.next < tenants[best].next {
-				best = i
-			}
-		}
-		if best < 0 {
+		t := q.peek()
+		if t == nil {
 			return nil
 		}
-		t := tenants[best]
 		active = t
 		if mux != nil {
 			// Dispatch boundary: subsequent events belong to this
@@ -445,6 +486,7 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform, mux *tr
 			t.fast.Add(p.Fast.Counters().Sub(fb))
 			t.slow.Add(p.Slow.Counters().Sub(sb))
 		}
+		stepped := false
 		if !t.st.Done() {
 			fb, sb := p.Fast.Counters(), p.Slow.Counters()
 			before := p.Clock.Now()
@@ -458,6 +500,7 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform, mux *tr
 			t.slow.Add(p.Slow.Counters().Sub(sb))
 			t.steps++
 			dispatches++
+			stepped = true
 		}
 		if t.st.Done() {
 			res, err := t.st.Finish()
@@ -467,6 +510,9 @@ func dispatch(tenants []*tenant, ecfg engine.Config, p *memsim.Platform, mux *tr
 			t.result = res
 			t.finished = true
 			t.finish = p.Clock.Now()
+			q.remove()
+		} else if stepped {
+			q.bumped()
 		}
 	}
 }
@@ -548,7 +594,6 @@ func registerClusterSeries(reg *metrics.Registry, tenants []*tenant,
 	p *memsim.Platform, env *engine.Env, dispatches *int) {
 
 	for _, t := range tenants {
-		t := t
 		pre := "cluster_" + t.label + "_"
 		reg.CounterFunc(pre+"fast_bytes", func() float64 { return float64(t.fast.TotalBytes()) })
 		reg.CounterFunc(pre+"slow_bytes", func() float64 { return float64(t.slow.TotalBytes()) })

@@ -43,7 +43,6 @@ var allModes = []string{
 // would surface here as a diff.
 func TestSoloIdentityAllModes(t *testing.T) {
 	for _, mode := range allModes {
-		mode := mode
 		t.Run(mode, func(t *testing.T) {
 			cfg := tight
 			cfg.Trace = true

@@ -65,6 +65,12 @@ func FuzzClusterSchedule(f *testing.F) {
 	f.Add([]byte{1, 0, 1, 1, 0, 5, 10, 3, 200})
 	f.Add([]byte{3, 1, 2, 0, 1, 0, 0, 4, 50, 8, 100, 10, 255})
 	f.Add([]byte{2, 1, 3, 3, 1, 9, 0, 9, 0, 9, 0})
+	// Every job arrives at the same offset: all dispatch decisions start as
+	// timestamp ties, the regime where heap/scan tie-breaking must agree.
+	f.Add([]byte{3, 0, 1, 1, 0, 1, 7, 2, 7, 3, 7, 4, 7})
+	// Mixed iteration lengths on one platform: tenants finish mid-run while
+	// others still dispatch (heap remove() under load).
+	f.Add([]byte{3, 0, 0, 2, 1, 0, 0, 10, 128, 1, 64, 9, 192})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, ok := fuzzScenario(data)
 		if !ok {
@@ -127,6 +133,75 @@ func FuzzClusterSchedule(f *testing.F) {
 		}
 		if ran != placed {
 			t.Fatalf("%d jobs placed but %d ran", placed, ran)
+		}
+		// Single-platform scenarios double as a differential oracle for the
+		// tentpole: routing with one platform keeps every job in submission
+		// order, so the routed result must match a direct run through the
+		// linear-scan reference dispatcher byte for byte.
+		if len(cfg.Platforms) == 1 {
+			scan, err := RunScanReference(Config{Engine: cfg.Platforms[0], Jobs: cfg.Jobs})
+			if err != nil {
+				t.Fatalf("scan reference failed where heap run succeeded: %v", err)
+			}
+			if !reflect.DeepEqual(res.Platforms[0], scan) {
+				t.Fatal("heap dispatch diverged from scan reference")
+			}
+		}
+	})
+}
+
+// FuzzDispatchQueue is the queue-level differential fuzz: arbitrary
+// tenant counts, fuzzer-chosen initial timestamps (ties included),
+// per-step bump amounts and mid-run finishes, with the heap and the scan
+// reference driven in lockstep. The oracle: both queues select the same
+// tenant at every step and drain together.
+func FuzzDispatchQueue(f *testing.F) {
+	f.Add([]byte{4, 0, 0, 0, 0, 1, 2, 3, 4, 5})
+	f.Add([]byte{16, 7, 7, 7, 7})
+	f.Add([]byte{128, 0, 1, 0, 1, 0, 2, 9, 9, 9, 255, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := 1 + int(data[0])%128
+		byteAt := func(i int) byte { return data[1+i%(len(data)-1)] }
+		mk := func() []*tenant {
+			ts := make([]*tenant, n)
+			for i := range ts {
+				// Coarse start slots from the fuzz bytes: ties are likely.
+				ts[i] = &tenant{idx: i, next: float64(byteAt(i) % 8)}
+			}
+			return ts
+		}
+		h, s := newTenantHeap(mk()), newScanQueue(mk())
+		for step := 0; ; step++ {
+			ht, st := h.peek(), s.peek()
+			if ht == nil || st == nil {
+				if ht != st && (ht != nil || st != nil) {
+					t.Fatalf("step %d: queues drained unevenly (heap=%v scan=%v)", step, ht, st)
+				}
+				return
+			}
+			if ht.idx != st.idx {
+				t.Fatalf("step %d: heap picked idx %d (next=%g), scan picked idx %d (next=%g)",
+					step, ht.idx, ht.next, st.idx, st.next)
+			}
+			b := byteAt(step + ht.idx)
+			// Finish roughly one pick in four, and always after a budget so
+			// every input terminates.
+			if b%4 == 0 || ht.steps >= 32 {
+				ht.finished, st.finished = true, true
+				h.remove()
+				s.remove()
+				continue
+			}
+			bump := float64(b%16) * 0.125 // zero bumps keep ties alive
+			ht.next += bump
+			ht.steps++
+			st.next += bump
+			st.steps++
+			h.bumped()
+			s.bumped()
 		}
 	})
 }

@@ -42,3 +42,30 @@ func Mix(seed int64, n int) []Job {
 	}
 	return jobs
 }
+
+// BenchMix generates the fleet-scale benchmark's job mix: n deliberately
+// tiny MLP jobs (one short hidden layer, small batches) whose individual
+// simulations are cheap enough that dispatch overhead — the thing
+// BENCH_cluster measures — is a visible fraction of the run at N=128
+// tenants. Sizes, modes and arrivals are drawn from the seeded source
+// exactly like Mix; arrival offsets cluster in a narrow window so
+// timestamp ties and near-ties (the heap's worst case) are common.
+// Deterministic per seed.
+func BenchMix(seed int64, n int) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, n)
+	for i := range jobs {
+		in := 128 << rng.Intn(2)     // 128 / 256 features
+		hidden := 256 << rng.Intn(2) // 256 / 512 wide
+		batch := 16 << rng.Intn(2)   // 16 / 32
+		mode := MixModes[rng.Intn(len(MixModes))]
+		arrival := float64(rng.Intn(4)) * 0.001 // 4 shared arrival slots: ties abound
+		jobs[i] = Job{
+			Name:    fmt.Sprintf("bench%d-%s", i, mode),
+			Build:   func() (*models.Model, error) { return models.MLP(in, []int{hidden}, 10, batch), nil },
+			Mode:    mode,
+			Arrival: arrival,
+		}
+	}
+	return jobs
+}

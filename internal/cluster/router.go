@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cachedarrays/internal/engine"
 	"cachedarrays/internal/metrics"
@@ -50,6 +51,12 @@ type RouterConfig struct {
 	// scheduler is safe for concurrent use and single-flights duplicate
 	// solo runs across platforms).
 	Baselines *sched.Scheduler
+	// Sched is passed through to every platform's cluster run: each
+	// platform's whole result is memoized under its own cluster key, so
+	// a repeated sweep re-serves every platform from the cache and two
+	// platforms given identical (config, job list) pairs — within one
+	// routed run or across runs — simulate once.
+	Sched *sched.Scheduler
 	// Metrics, when non-nil, receives the router's placement series:
 	// per-platform placed-job counters and demand gauges plus the
 	// rejection counter. The registry is flushed once after placement —
@@ -124,7 +131,11 @@ func Route(cfg RouterConfig) (*RouterResult, error) {
 	}
 
 	// Run the platforms: independent single-threaded simulations on a
-	// bounded worker pool, each writing only its own slot.
+	// bounded worker pool. Workers claim platform indices from a shared
+	// atomic counter — no feeder goroutine, no channel per run — and each
+	// writes only its own result and error slot, so the fan-out needs no
+	// lock at all. Every failed platform's error is kept (indexed by
+	// platform) and the joined error names each one, not just the first.
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 1
@@ -133,22 +144,19 @@ func Route(cfg RouterConfig) (*RouterResult, error) {
 		workers = len(cfg.Platforms)
 	}
 	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
+		wg   sync.WaitGroup
+		next atomic.Int64
 	)
-	idx := make(chan int)
-	go func() {
-		defer close(idx)
-		for pi := range cfg.Platforms {
-			idx <- pi
-		}
-	}()
+	errs := make([]error, len(cfg.Platforms))
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for pi := range idx {
+			for {
+				pi := int(next.Add(1)) - 1
+				if pi >= len(cfg.Platforms) {
+					return
+				}
 				if len(perPlatform[pi]) == 0 {
 					continue
 				}
@@ -156,13 +164,10 @@ func Route(cfg RouterConfig) (*RouterResult, error) {
 					Engine:    cfg.Platforms[pi],
 					Jobs:      perPlatform[pi],
 					Baselines: cfg.Baselines,
+					Sched:     cfg.Sched,
 				})
 				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("cluster: platform %d: %w", pi, err)
-					}
-					errMu.Unlock()
+					errs[pi] = fmt.Errorf("cluster: platform %d: %w", pi, err)
 					continue
 				}
 				res.Platforms[pi] = r
@@ -170,8 +175,8 @@ func Route(cfg RouterConfig) (*RouterResult, error) {
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -254,7 +259,6 @@ func registerRouterSeries(reg *metrics.Registry, res *RouterResult, jobs []Job, 
 		}
 	}
 	for pi := 0; pi < platforms; pi++ {
-		pi := pi
 		reg.CounterFunc(fmt.Sprintf("router_p%d_placed_jobs", pi), func() float64 { return float64(placed[pi]) })
 		reg.Gauge(fmt.Sprintf("router_p%d_demand_flops", pi), func() float64 { return demand[pi] })
 	}

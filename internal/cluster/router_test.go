@@ -3,6 +3,7 @@ package cluster
 import (
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
 	"cachedarrays/internal/engine"
@@ -184,6 +185,36 @@ func TestRouteErrors(t *testing.T) {
 	for _, c := range cases {
 		if _, err := Route(c.cfg); err == nil {
 			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+// TestRouteSurfacesEveryPlatformFailure pins the fan-out's error
+// contract: when several platform simulations fail, the joined error
+// names every failed platform by index — not just whichever worker
+// lost the race to report first.
+func TestRouteSurfacesEveryPlatformFailure(t *testing.T) {
+	// An invalid mode passes the placement pre-pass (which only needs
+	// models) and fails inside each platform's cluster run, so every
+	// platform that received a job fails independently.
+	jobs := []Job{
+		smallJob("a", "not-a-mode"), smallJob("b", "not-a-mode"),
+		smallJob("c", "not-a-mode"), smallJob("d", "not-a-mode"),
+	}
+	for _, workers := range []int{1, 2} {
+		_, err := Route(RouterConfig{
+			Platforms: twoPlatforms(),
+			Jobs:      jobs,
+			Policy:    RoundRobin,
+			Workers:   workers,
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		for _, want := range []string{"platform 0", "platform 1"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: error %q does not name %s", workers, err, want)
+			}
 		}
 	}
 }

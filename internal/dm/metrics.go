@@ -13,7 +13,6 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) {
 		return
 	}
 	for c := Class(0); c < NumClasses; c++ {
-		c := c
 		tier := c.String()
 		reg.Gauge("dm_"+tier+"_used_bytes", func() float64 {
 			return float64(m.UsedBytes(c))

@@ -25,7 +25,6 @@ func registerPlatformMetrics(reg *metrics.Registry, p *memsim.Platform) {
 		return
 	}
 	for _, d := range []*memsim.Device{p.Fast, p.Slow} {
-		d := d
 		name := d.Name
 		reg.CounterFunc("mem_"+name+"_read_bytes", func() float64 {
 			return float64(d.Counters().ReadBytes)

@@ -468,7 +468,6 @@ func TestEvictOnArchivePushesDataDown(t *testing.T) {
 
 func TestRandomHintStormKeepsInvariants(t *testing.T) {
 	for _, mode := range Modes {
-		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
 			_, m, pol, gc := setup(t, mode, 256*1024, 8*units.MB)
 			rng := rand.New(rand.NewSource(int64(mode) + 99))

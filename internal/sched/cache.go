@@ -28,9 +28,11 @@ const cacheShards = 64
 
 // cacheShard is one slice of the in-memory index behind its own short
 // lock: concurrent Get/Put on different key prefixes never contend.
+// Values are untyped: engine results and cluster results share the store
+// (their content-hash key spaces are disjoint by format header).
 type cacheShard struct {
 	mu  sync.Mutex
-	mem map[string]*engine.Result
+	mem map[string]any
 }
 
 // Cache is a content-addressed store of engine results: a sharded
@@ -66,7 +68,7 @@ func OpenCache(dir string) (*Cache, error) {
 	}
 	c := &Cache{dir: dir}
 	for i := range c.shards {
-		c.shards[i].mem = map[string]*engine.Result{}
+		c.shards[i].mem = map[string]any{}
 	}
 	return c, nil
 }
@@ -112,28 +114,51 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Get returns the cached result for key, consulting memory first and the
-// backing directory second. Disk entries failing the integrity check
-// count as corrupt and miss (the caller recomputes and overwrites).
+// decodeEngineResult rebuilds an engine result from a verified disk
+// entry's body — the decode hook Get passes to GetAny.
+func decodeEngineResult(body []byte) (any, error) {
+	var r engine.Result
+	if err := json.Unmarshal(body, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Get returns the cached engine result for key, consulting memory first
+// and the backing directory second. Disk entries failing the integrity
+// check count as corrupt and miss (the caller recomputes and overwrites).
 func (c *Cache) Get(key string) (*engine.Result, bool) {
+	v, ok := c.GetAny(key, decodeEngineResult)
+	if !ok {
+		return nil, false
+	}
+	return v.(*engine.Result), true
+}
+
+// GetAny is Get for an arbitrary value type: decode rebuilds the value
+// from a verified disk entry's JSON body (in-memory hits return the
+// stored pointer directly and never invoke it). Callers must pair a key
+// space with one decode shape — the format header hashed into every key
+// guarantees engine and cluster entries never alias.
+func (c *Cache) GetAny(key string, decode func([]byte) (any, error)) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
 	s := c.shard(key)
 	s.mu.Lock()
-	r, ok := s.mem[key]
+	v, ok := s.mem[key]
 	s.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
-		return r, true
+		return v, true
 	}
 	if c.dir != "" {
-		if r, err := c.load(key); err == nil {
+		if v, err := c.load(key, decode); err == nil {
 			s.mu.Lock()
-			s.mem[key] = r
+			s.mem[key] = v
 			s.mu.Unlock()
 			c.hits.Add(1)
-			return r, true
+			return v, true
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			c.corrupt.Add(1)
 		}
@@ -143,8 +168,8 @@ func (c *Cache) Get(key string) (*engine.Result, bool) {
 }
 
 // load reads and verifies one disk entry: a header line binding the
-// format version to the body's SHA-256, then the JSON-encoded result.
-func (c *Cache) load(key string) (*engine.Result, error) {
+// format version to the body's SHA-256, then the JSON-encoded value.
+func (c *Cache) load(key string, decode func([]byte) (any, error)) (any, error) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return nil, err
@@ -158,30 +183,33 @@ func (c *Cache) load(key string) (*engine.Result, error) {
 	if header != want {
 		return nil, fmt.Errorf("sched: cache entry %s: integrity check failed", key)
 	}
-	var r engine.Result
-	if err := json.Unmarshal(body, &r); err != nil {
+	v, err := decode(body)
+	if err != nil {
 		return nil, fmt.Errorf("sched: cache entry %s: %w", key, err)
 	}
-	return &r, nil
+	return v, nil
 }
 
-// Put stores a result under key, in memory and (when backed) on disk via
-// a temp-file rename so concurrent readers never observe a partial entry.
-// Encoding and disk I/O run outside any lock: concurrent writers only
-// touch their key's shard for the map insert.
-func (c *Cache) Put(key string, r *engine.Result) error {
+// Put stores an engine result under key (see PutAny).
+func (c *Cache) Put(key string, r *engine.Result) error { return c.PutAny(key, r) }
+
+// PutAny stores a JSON-marshalable value under key, in memory and (when
+// backed) on disk via a temp-file rename so concurrent readers never
+// observe a partial entry. Encoding and disk I/O run outside any lock:
+// concurrent writers only touch their key's shard for the map insert.
+func (c *Cache) PutAny(key string, v any) error {
 	if c == nil {
 		return nil
 	}
 	s := c.shard(key)
 	s.mu.Lock()
-	s.mem[key] = r
+	s.mem[key] = v
 	s.mu.Unlock()
 	c.stores.Add(1)
 	if c.dir == "" {
 		return nil
 	}
-	body, err := json.Marshal(r)
+	body, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("sched: cache encode: %w", err)
 	}

@@ -41,6 +41,17 @@ func Key(model *models.Model, mode string, cfg engine.Config) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// HashConfig writes the canonical (default-resolved) config's
+// name=value field lines into w under the given field-name prefix — the
+// exact byte stream Key hashes for one run's config, exported so
+// composite keys (the cluster's whole-run key hashes one platform config
+// plus one per-job config each) stay field-name-sensitive the same way.
+// Configs carrying live state (a non-nil Metrics registry) are an error,
+// mirroring Key.
+func HashConfig(w io.Writer, prefix string, cfg engine.Config) error {
+	return hashValue(w, prefix, reflect.ValueOf(cfg.Canonical()))
+}
+
 // hashValue writes a canonical name=value line per leaf field, recursing
 // through structs, slices and arrays. Unexported fields, non-nil pointers
 // and uncanonicalizable kinds (maps, funcs, channels) are errors — better

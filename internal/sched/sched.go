@@ -238,6 +238,12 @@ var (
 	keyErrOut  io.Writer = os.Stderr // swapped in tests
 )
 
+// WarnKeyError is the exported form for sibling packages that compute
+// composite keys over engine configs (the cluster's whole-run key): the
+// same once-per-distinct-message stderr warning, the same consequence
+// (the affected runs execute uncached).
+func WarnKeyError(err error) { warnKeyError(err) }
+
 func warnKeyError(err error) {
 	msg := err.Error()
 	keyErrMu.Lock()
@@ -278,7 +284,7 @@ func (s *Scheduler) runCell(c *Cell) (*engine.Result, bool, error) {
 		// rest share its pointer. The lookup lives inside the flight so
 		// a key is probed exactly once per settled result.
 		var simulated bool
-		res, shared, err := s.flight.Do(key, func() (*engine.Result, error) {
+		res, shared, err := s.flight.Do(key, func() (any, error) {
 			if r, ok := s.Cache.Get(key); ok {
 				return r, nil
 			}
@@ -299,7 +305,7 @@ func (s *Scheduler) runCell(c *Cell) (*engine.Result, bool, error) {
 		if shared {
 			s.dedups.Add(1)
 		}
-		r, hit = res, !simulated
+		r, hit = res.(*engine.Result), !simulated
 	} else {
 		s.sims.Add(1)
 		if r, err = RunMode(m, c.Mode, c.Cfg); err != nil {
@@ -312,6 +318,50 @@ func (s *Scheduler) runCell(c *Cell) (*engine.Result, bool, error) {
 		}
 	}
 	return r, hit, nil
+}
+
+// Memo single-flights and memoizes an arbitrary keyed computation
+// through the scheduler's flight group and result cache — the extension
+// point that lets whole cluster runs share the machinery engine cells
+// use. The contract mirrors runCell: concurrent callers with the same
+// key elect one leader; the leader consults the cache (decode rebuilds a
+// value from a verified disk entry) and computes+stores on a miss; every
+// caller shares the settled pointer, so results must be treated as
+// read-only. The computation must be deterministic and its value
+// JSON-round-trippable — the same obligations the simulation's
+// byte-identity tests prove for engine results. The second return
+// reports whether the value arrived without this caller computing (a
+// cache or dedup hit).
+//
+// Keys must be content hashes whose preimage starts with a
+// caller-specific format header (engine cells use "cachedarrays-run v1",
+// cluster runs "cachedarrays-cluster v1"), which keeps the shared key
+// space collision-free. A scheduler without a Cache still single-flights;
+// it just recomputes on every settled miss.
+func (s *Scheduler) Memo(key string, decode func([]byte) (any, error), compute func() (any, error)) (any, bool, error) {
+	var computed bool
+	v, shared, err := s.flight.Do(key, func() (any, error) {
+		if v, ok := s.Cache.GetAny(key, decode); ok {
+			return v, nil
+		}
+		computed = true
+		s.sims.Add(1)
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Cache.PutAny(key, v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if shared {
+		s.dedups.Add(1)
+	}
+	return v, !computed, nil
 }
 
 // Cacheable reports whether a run with this config may be served from (or

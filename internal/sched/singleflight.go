@@ -1,10 +1,6 @@
 package sched
 
-import (
-	"sync"
-
-	"cachedarrays/internal/engine"
-)
+import "sync"
 
 // flightGroup is in-memory single-flight over cache keys: when several
 // workers submit the identical cell concurrently, exactly one (the
@@ -12,6 +8,11 @@ import (
 // share the pointer — the simulation runs once and the on-disk cache
 // sees one writer per key instead of a Put race. The zero value is
 // ready to use.
+//
+// Values are untyped so one group serves both engine-result cells and
+// whole cluster runs (Scheduler.Memo): keys are content hashes whose
+// preimage includes a format header, so the two key spaces can never
+// collide.
 //
 // Unlike a cache, entries live only while the leader is in flight:
 // completion removes the key, so a later submission consults the result
@@ -23,9 +24,9 @@ type flightGroup struct {
 
 // flightCall is one in-flight execution.
 type flightCall struct {
-	done    chan struct{} // closed when r/err are final
+	done    chan struct{} // closed when val/err are final
 	waiters int           // callers sharing this flight; guarded by the group's mu
-	r       *engine.Result
+	val     any
 	err     error
 }
 
@@ -33,7 +34,7 @@ type flightCall struct {
 // caller for a key runs fn; callers arriving while it is in flight wait
 // and receive the same result. The second return reports whether the
 // result was shared from another caller's execution (a dedup hit).
-func (g *flightGroup) Do(key string, fn func() (*engine.Result, error)) (*engine.Result, bool, error) {
+func (g *flightGroup) Do(key string, fn func() (any, error)) (any, bool, error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
@@ -42,16 +43,16 @@ func (g *flightGroup) Do(key string, fn func() (*engine.Result, error)) (*engine
 		c.waiters++
 		g.mu.Unlock()
 		<-c.done
-		return c.r, true, c.err
+		return c.val, true, c.err
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.r, c.err = fn()
+	c.val, c.err = fn()
 	g.mu.Lock()
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.r, false, c.err
+	return c.val, false, c.err
 }

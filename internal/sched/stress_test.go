@@ -24,13 +24,13 @@ func TestFlightGroupSharesResult(t *testing.T) {
 	want := &engine.Result{Mode: "X"}
 
 	type out struct {
-		r      *engine.Result
+		r      any
 		shared bool
 		err    error
 	}
 	leaderOut := make(chan out, 1)
 	go func() {
-		r, shared, err := g.Do("k", func() (*engine.Result, error) {
+		r, shared, err := g.Do("k", func() (any, error) {
 			close(leaderIn)
 			<-release
 			return want, nil
@@ -41,7 +41,7 @@ func TestFlightGroupSharesResult(t *testing.T) {
 
 	followerOut := make(chan out, 1)
 	go func() {
-		r, shared, err := g.Do("k", func() (*engine.Result, error) {
+		r, shared, err := g.Do("k", func() (any, error) {
 			t.Error("follower executed its function despite an in-flight leader")
 			return nil, nil
 		})
@@ -81,7 +81,7 @@ func TestFlightGroupSharesResult(t *testing.T) {
 
 	// The key is gone after completion: a fresh call runs its function.
 	ran := false
-	if _, shared, _ := g.Do("k", func() (*engine.Result, error) { ran = true; return want, nil }); shared || !ran {
+	if _, shared, _ := g.Do("k", func() (any, error) { ran = true; return want, nil }); shared || !ran {
 		t.Fatal("completed flight entry was not cleared")
 	}
 }

@@ -114,14 +114,12 @@ func DefaultWorkloads(scale int) []Workload {
 	}
 	var ws []Workload
 	for _, pm := range models.PaperLargeModels() {
-		pm := pm
 		ws = append(ws, Workload{
 			Name:  runName(pm.Name, "large"),
 			Build: func() (*models.Model, error) { return scaledModel(pm, scale), nil },
 		})
 	}
 	for _, pm := range models.PaperSmallModels() {
-		pm := pm
 		// Tight DRAM: a quarter of the model's own peak footprint, so
 		// even the "fits in DRAM" networks are forced to tier.
 		foot := scaledModel(pm, scale).PeakFootprint()
@@ -395,6 +393,9 @@ func clusterColumn(res *Result, opts Options) error {
 				{Name: "antagonist", Build: clusterModel, Mode: "CA:LMP"},
 			},
 			Baselines: opts.Sched,
+			// The whole contention run memoizes too: a warm-cache
+			// tournament re-serves every cluster column from disk.
+			Sched: opts.Sched,
 		})
 		if err != nil {
 			return fmt.Errorf("tourney: cluster column, mode %s: %w", s.Mode, err)
